@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Benchmark Buffer Hashtbl Instance List Measure Printf Shasta_core Staged Test Time

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite List Printf Shasta_experiments String Sys Unix

@@ -1,0 +1,113 @@
+(* Host-level micro-benchmarks of the simulator's protocol fast paths,
+   measured with Bechamel. One Test.make per paper table/figure group:
+   the operations whose per-event cost dominates the corresponding
+   experiment's simulation time. *)
+
+open Bechamel
+open Bechamel.Toolkit
+
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+
+(* A small warm machine: one node exclusive over its data. *)
+let make_ctx_and_run f =
+  let cfg = Config.create ~variant:Config.Smp ~nprocs:4 ~clustering:4 () in
+  let h = Dsm.create cfg in
+  let addr = Dsm.alloc_floats h 1024 in
+  let b = Dsm.alloc_barrier h in
+  Dsm.run h (fun ctx ->
+      if Dsm.pid ctx = 0 then f ctx addr;
+      Dsm.barrier ctx b)
+
+(* The staged closures run a bounded burst of simulated operations on a
+   fresh machine; Bechamel measures the host cost per burst. *)
+let burst = 256
+
+let test_check_hit =
+  Test.make ~name:"table1/load-check-hit"
+    (Staged.stage (fun () ->
+         make_ctx_and_run (fun ctx addr ->
+             for i = 0 to burst - 1 do
+               ignore (Dsm.load_float ctx (addr + (8 * (i land 63))))
+             done)))
+
+let test_store_hit =
+  Test.make ~name:"table1/store-check-hit"
+    (Staged.stage (fun () ->
+         make_ctx_and_run (fun ctx addr ->
+             for i = 0 to burst - 1 do
+               Dsm.store_float ctx (addr + (8 * (i land 63))) 1.0
+             done)))
+
+let test_batch =
+  Test.make ~name:"fig4/batched-access"
+    (Staged.stage (fun () ->
+         make_ctx_and_run (fun ctx addr ->
+             for _ = 1 to 8 do
+               Dsm.batch ctx
+                 [ (addr, 512, Dsm.W) ]
+                 (fun () ->
+                   for i = 0 to 63 do
+                     Dsm.Batch.store_float ctx (addr + (8 * i)) 2.0
+                   done)
+             done)))
+
+let test_remote_miss =
+  Test.make ~name:"fig6/remote-miss-roundtrip"
+    (Staged.stage (fun () ->
+         let cfg = Config.create ~variant:Config.Base ~nprocs:8 () in
+         let h = Dsm.create cfg in
+         let blocks = List.init 16 (fun _ -> Dsm.alloc h ~block_size:64 ~home:4 64) in
+         let b = Dsm.alloc_barrier h in
+         Dsm.run h (fun ctx ->
+             if Dsm.pid ctx = 0 then
+               List.iter (fun a -> ignore (Dsm.load_float ctx a)) blocks;
+             Dsm.barrier ctx b)))
+
+let test_downgrade =
+  Test.make ~name:"fig8/downgrade-roundtrip"
+    (Staged.stage (fun () ->
+         let cfg = Config.create ~variant:Config.Smp ~nprocs:8 ~clustering:4 () in
+         let h = Dsm.create cfg in
+         let blocks = List.init 16 (fun _ -> Dsm.alloc h ~block_size:64 ~home:4 64) in
+         let b = Dsm.alloc_barrier h in
+         Dsm.run h (fun ctx ->
+             let p = Dsm.pid ctx in
+             if p >= 4 && p < 7 then
+               List.iter (fun a -> Dsm.store_float ctx a 1.0) blocks;
+             Dsm.barrier ctx b;
+             if p = 0 then
+               List.iter (fun a -> ignore (Dsm.load_float ctx a)) blocks;
+             Dsm.barrier ctx b)))
+
+let tests =
+  [ test_check_hit; test_store_hit; test_batch; test_remote_miss; test_downgrade ]
+
+let render () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "\nBechamel micro-benchmarks (host cost of simulator fast paths)\n";
+  Buffer.add_string buf
+    "==============================================================\n\n";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let est =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> Printf.sprintf "%.0f ns/run" t
+            | Some [] | None -> "n/a"
+          in
+          Buffer.add_string buf (Printf.sprintf "  %-32s %s\n" name est))
+        results)
+    tests;
+  Buffer.contents buf

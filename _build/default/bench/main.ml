@@ -1,0 +1,53 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section on the simulated cluster, plus Bechamel
+   micro-benchmarks of the simulator's protocol fast paths.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table1 fig3  # selected targets
+     dune exec bench/main.exe -- --quick      # reduced problem scale
+   Targets: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 micro anl
+            ablation bechamel *)
+
+module E = Shasta_experiments
+
+let targets : (string * (scale:float -> string)) list =
+  [
+    ("table1", fun ~scale -> E.Exp_checking_overhead.render ~scale ());
+    ("table2", fun ~scale -> E.Exp_granularity.render ~scale ());
+    ("table3", fun ~scale -> E.Exp_large_problems.render ~scale:(2.0 *. scale) ());
+    ("fig3", fun ~scale -> E.Exp_speedup.render ~scale ());
+    ("fig4", fun ~scale -> E.Exp_breakdown.render ~vg:false ~scale ());
+    ("fig5", fun ~scale -> E.Exp_breakdown.render ~vg:true ~scale ());
+    ("fig6", fun ~scale -> E.Exp_misses.render ~scale ());
+    ("fig7", fun ~scale -> E.Exp_messages.render ~scale ());
+    ("fig8", fun ~scale -> E.Exp_downgrade_dist.render ~scale ());
+    ("micro", fun ~scale:_ -> E.Exp_microbench.render ());
+    ("anl", fun ~scale -> E.Exp_anl_compare.render ~scale ());
+    ("ablation", fun ~scale -> E.Exp_ablation.render ~scale ());
+    ("bechamel", fun ~scale:_ -> Bechamel_suite.render ());
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let scale = if quick then 0.5 else 1.0 in
+  let wanted = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let wanted = if wanted = [] then List.map fst targets else wanted in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some render ->
+        let t0 = Unix.gettimeofday () in
+        let out = render ~scale in
+        print_string out;
+        Printf.printf "\n[%s completed in %.1fs host time; %d cached runs]\n"
+          name
+          (Unix.gettimeofday () -. t0)
+          (E.Runner.cache_size ());
+        flush stdout
+      | None ->
+        Printf.eprintf "unknown target %S; known: %s\n" name
+          (String.concat " " (List.map fst targets));
+        exit 2)
+    wanted

@@ -1,0 +1,122 @@
+(* Command-line driver: run any SPLASH-2 workload on a configured
+   simulated cluster and report the paper's statistics.
+
+     dune exec bin/shasta_cli.exe -- run ocean -p 16 --protocol smp -c 4
+     dune exec bin/shasta_cli.exe -- list *)
+
+open Cmdliner
+
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module Stats = Shasta_core.Stats
+module App = Shasta_apps.App
+module Registry = Shasta_apps.Registry
+
+let run_app app_name nprocs protocol clustering vg scale seed smp_sync share_dir verbose =
+  match Registry.find app_name with
+  | exception Not_found ->
+    Printf.eprintf "unknown application %S; try: %s\n" app_name
+      (String.concat " " Registry.names);
+    1
+  | maker ->
+    let variant =
+      match protocol with
+      | "base" -> Config.Base
+      | "smp" -> Config.Smp
+      | other ->
+        Printf.eprintf "unknown protocol %S (base|smp)\n" other;
+        exit 2
+    in
+    let clustering = if variant = Config.Base then 1 else clustering in
+    let inst = maker ~vg ~scale () in
+    let heap = max (1 lsl 22) inst.App.heap_bytes in
+    let heap = (heap + 4095) / 4096 * 4096 in
+    let cfg =
+      Config.create ~variant ~nprocs ~clustering ~heap_bytes:heap ~seed
+        ~smp_sync ~share_directory:share_dir ()
+    in
+    let h = Dsm.create cfg in
+    let body, verify = inst.App.setup h in
+    Printf.printf "%s: %s\n" inst.App.name inst.App.workload;
+    Printf.printf "%s, %d processors, clustering %d%s\n%!"
+      (match variant with Config.Base -> "Base-Shasta" | Config.Smp -> "SMP-Shasta")
+      nprocs clustering
+      (if vg then ", variable granularity" else "");
+    let t0 = Unix.gettimeofday () in
+    Dsm.run h body;
+    let host = Unix.gettimeofday () -. t0 in
+    let verdict = verify h in
+    let stats = Dsm.aggregate_stats h in
+    Printf.printf "\nresult: %s (%s)\n"
+      (if verdict.App.ok then "VERIFIED" else "FAILED")
+      verdict.App.detail;
+    Printf.printf "parallel time: %.1f simulated ms (%.1fs host)\n"
+      (1000.0 *. float_of_int (Dsm.parallel_cycles h) /. 3.0e8)
+      host;
+    Printf.printf "misses: %d  (mean read latency %.1f us)\n"
+      (Stats.total_misses stats)
+      (Stats.mean_read_latency_us stats);
+    Printf.printf "messages: %d remote, %d local, %d downgrade\n"
+      (Dsm.messages_remote h) (Dsm.messages_local h) (Dsm.downgrade_messages h);
+    if verbose then begin
+      Printf.printf "\ntime breakdown (aggregate cycles):\n";
+      List.iter
+        (fun c ->
+          Printf.printf "  %-8s %12d\n" (Stats.category_name c) (Stats.cycles stats c))
+        Stats.categories;
+      Printf.printf "private upgrades: %d, false misses: %d, checks: %d\n"
+        stats.Stats.private_upgrades stats.Stats.false_misses stats.Stats.checks
+    end;
+    if verdict.App.ok then 0 else 1
+
+let list_apps () =
+  List.iter
+    (fun (name, (maker : App.maker)) ->
+      let inst = maker () in
+      Printf.printf "%-10s %s\n" name inst.App.workload)
+    Registry.all;
+  0
+
+(* --- command line --- *)
+
+let app_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Workload name (see $(b,list)).")
+
+let nprocs_arg =
+  Arg.(value & opt int 16 & info [ "p"; "procs" ] ~docv:"N" ~doc:"Number of simulated processors.")
+
+let protocol_arg =
+  Arg.(value & opt string "smp" & info [ "protocol" ] ~docv:"P" ~doc:"Protocol: base or smp.")
+
+let clustering_arg =
+  Arg.(value & opt int 4 & info [ "c"; "clustering" ] ~docv:"K" ~doc:"Processors per coherence node (smp only).")
+
+let vg_arg =
+  Arg.(value & flag & info [ "vg" ] ~doc:"Enable the variable-granularity allocation hints (Table 2).")
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc:"Problem-size scale factor.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let smp_sync_arg =
+  Arg.(value & flag & info [ "smp-sync" ] ~doc:"Hierarchical SMP barriers (the paper's section-5 extension).")
+
+let share_dir_arg =
+  Arg.(value & flag & info [ "share-directory" ] ~doc:"Directory-state sharing within a node (section-5 extension).")
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full time breakdown.")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a SPLASH-2 workload on the simulated cluster")
+    Term.(
+      const run_app $ app_arg $ nprocs_arg $ protocol_arg $ clustering_arg
+      $ vg_arg $ scale_arg $ seed_arg $ smp_sync_arg $ share_dir_arg
+      $ verbose_arg)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const list_apps $ const ())
+
+let () =
+  let doc = "Shasta fine-grain software DSM simulator (HPCA'98 reproduction)" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "shasta" ~doc) [ run_cmd; list_cmd ]))

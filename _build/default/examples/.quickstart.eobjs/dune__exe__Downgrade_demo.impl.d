@@ -1,0 +1,1 @@
+examples/downgrade_demo.ml: Array List Printf Shasta_core Shasta_util

@@ -1,0 +1,1 @@
+examples/downgrade_demo.mli:

@@ -1,0 +1,1 @@
+examples/heat_diffusion.ml: Array List Printf Shasta_core

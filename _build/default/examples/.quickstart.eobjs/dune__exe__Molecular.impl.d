@@ -1,0 +1,1 @@
+examples/molecular.ml: Array List Printf Shasta_core Shasta_util

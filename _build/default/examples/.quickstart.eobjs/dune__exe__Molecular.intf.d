@@ -1,0 +1,1 @@
+examples/molecular.mli:

@@ -1,0 +1,94 @@
+(* Heat diffusion: a Jacobi stencil with home placement and batched row
+   access, run under Base-Shasta and under SMP-Shasta at increasing
+   clustering to show the clustering effect of the paper on a
+   nearest-neighbour workload (cf. Ocean, the biggest winner).
+
+     dune exec examples/heat_diffusion.exe *)
+
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+
+let n = 128
+let dim = n + 2
+let iters = 6
+
+let run ~variant ~clustering =
+  let cfg = Config.create ~variant ~nprocs:16 ~clustering () in
+  let h = Dsm.create cfg in
+  let grids = Array.init 2 (fun _ -> Dsm.alloc_floats h (dim * dim)) in
+  let at g i j = grids.(g) + (8 * ((i * dim) + j)) in
+  let np = 16 in
+  (* Each processor owns a band of rows; home the bands accordingly. *)
+  for p = 0 to np - 1 do
+    let lo = 1 + (p * n / np) and hi = (p + 1) * n / np in
+    if hi >= lo then
+      Array.iter
+        (fun g ->
+          Dsm.place h ~addr:(at g lo 0) ~len:((hi - lo + 1) * dim * 8) ~proc:p)
+        [| 0; 1 |]
+  done;
+  for i = 0 to dim - 1 do
+    for j = 0 to dim - 1 do
+      let v = if i = 0 then 100.0 else 0.0 in
+      Dsm.poke_float h (at 0 i j) v;
+      Dsm.poke_float h (at 1 i j) v
+    done
+  done;
+  let bar = Dsm.alloc_barrier h in
+  Dsm.run h (fun ctx ->
+      let p = Dsm.pid ctx in
+      let lo = 1 + (p * n / np) and hi = (p + 1) * n / np in
+      for t = 0 to iters - 1 do
+        let src = t land 1 and dst = 1 - (t land 1) in
+        for i = lo to hi do
+          Dsm.batch ctx
+            [
+              (at src (i - 1) 0, dim * 8, Dsm.R);
+              (at src i 0, dim * 8, Dsm.R);
+              (at src (i + 1) 0, dim * 8, Dsm.R);
+              (at dst i 0, dim * 8, Dsm.W);
+            ]
+            (fun () ->
+              for j = 1 to n do
+                let v =
+                  0.25
+                  *. (Dsm.Batch.load_float ctx (at src (i - 1) j)
+                     +. Dsm.Batch.load_float ctx (at src (i + 1) j)
+                     +. Dsm.Batch.load_float ctx (at src i (j - 1))
+                     +. Dsm.Batch.load_float ctx (at src i (j + 1)))
+                in
+                Dsm.Batch.store_float ctx (at dst i j) v;
+                Dsm.compute ctx 30
+              done)
+        done;
+        Dsm.barrier ctx bar
+      done);
+  let ms = 1000.0 *. float_of_int (Dsm.parallel_cycles h) /. 3.0e8 in
+  ( ms,
+    Shasta_core.Stats.total_misses (Dsm.aggregate_stats h),
+    Dsm.messages_local h,
+    Dsm.messages_remote h )
+
+let () =
+  Printf.printf "%dx%d Jacobi heat diffusion, %d iterations, 16 processors\n\n"
+    dim dim iters;
+  let configs =
+    [
+      ("Base-Shasta", Config.Base, 1);
+      ("SMP-Shasta, clustering 2", Config.Smp, 2);
+      ("SMP-Shasta, clustering 4", Config.Smp, 4);
+    ]
+  in
+  List.iter
+    (fun (name, variant, clustering) ->
+      let ms, misses, local, remote = run ~variant ~clustering in
+      Printf.printf "%-26s %8.2f ms  %6d misses  %6d local msgs  %6d remote msgs\n"
+        name ms misses local remote)
+    configs;
+  print_newline ();
+  print_endline
+    "Clustering turns the software misses between processors of the same\n\
+     SMP into plain cache-coherent loads: the miss count and the local\n\
+     message count collapse. The remaining remote messages are the real\n\
+     inter-node boundary exchanges, which no clustering can remove - the\n\
+     effect the paper reports for Ocean (Figures 6 and 7)."

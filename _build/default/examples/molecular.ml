@@ -1,0 +1,112 @@
+(* Molecular dynamics example: a little cutoff MD system with
+   lock-protected force accumulation — the migratory-data pattern of the
+   paper's Water codes — comparing Base-Shasta and SMP-Shasta.
+
+     dune exec examples/molecular.exe *)
+
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module Prng = Shasta_util.Prng
+
+let n = 128
+let fields = 9 (* x y z vx vy vz fx fy fz *)
+let box = 5.0
+let cutoff = 1.8
+let dt = 0.005
+let steps = 3
+
+let run ~variant ~clustering =
+  let cfg = Config.create ~variant ~nprocs:16 ~clustering ~seed:11 () in
+  let h = Dsm.create cfg in
+  let mols = Dsm.alloc h ~block_size:2048 (n * fields * 8) in
+  let fld i k = mols + (8 * ((i * fields) + k)) in
+  let prng = Prng.create 303 in
+  for i = 0 to n - 1 do
+    for d = 0 to 2 do
+      Dsm.poke_float h (fld i d) (Prng.float prng box);
+      Dsm.poke_float h (fld i (3 + d)) (0.1 *. (Prng.float prng 1.0 -. 0.5))
+    done
+  done;
+  let locks = Array.init (n / 8) (fun _ -> Dsm.alloc_lock h) in
+  let bar = Dsm.alloc_barrier h in
+  Dsm.run h (fun ctx ->
+      let p = Dsm.pid ctx and np = Dsm.nprocs ctx in
+      let lo = p * n / np and hi = (p + 1) * n / np in
+      for _s = 1 to steps do
+        (* Pairwise forces on my stripe, accumulated locally. *)
+        let local = Array.make (n * 3) 0.0 in
+        for i = lo to hi - 1 do
+          let xi = Dsm.load_float ctx (fld i 0)
+          and yi = Dsm.load_float ctx (fld i 1)
+          and zi = Dsm.load_float ctx (fld i 2) in
+          for j = 0 to n - 1 do
+            if j <> i then begin
+              let dx = xi -. Dsm.load_float ctx (fld j 0)
+              and dy = yi -. Dsm.load_float ctx (fld j 1)
+              and dz = zi -. Dsm.load_float ctx (fld j 2) in
+              let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+              Dsm.compute ctx 120;
+              if r2 < cutoff *. cutoff && r2 > 0.0 then begin
+                let f = 1.0 /. ((r2 +. 0.1) *. (r2 +. 0.1)) in
+                local.(i * 3) <- local.(i * 3) +. (f *. dx);
+                local.((i * 3) + 1) <- local.((i * 3) + 1) +. (f *. dy);
+                local.((i * 3) + 2) <- local.((i * 3) + 2) +. (f *. dz)
+              end
+            end
+          done
+        done;
+        (* Fold into the shared force fields under per-group locks. *)
+        for g = 0 to (n / 8) - 1 do
+          Dsm.lock ctx locks.(g);
+          for i = g * 8 to (g * 8) + 7 do
+            for d = 0 to 2 do
+              if local.((i * 3) + d) <> 0.0 then
+                Dsm.store_float ctx (fld i (6 + d))
+                  (Dsm.load_float ctx (fld i (6 + d)) +. local.((i * 3) + d))
+            done
+          done;
+          Dsm.unlock ctx locks.(g)
+        done;
+        Dsm.barrier ctx bar;
+        (* Integrate my stripe. *)
+        for i = lo to hi - 1 do
+          Dsm.batch ctx
+            [ (fld i 0, fields * 8, Dsm.W) ]
+            (fun () ->
+              for d = 0 to 2 do
+                let v =
+                  Dsm.Batch.load_float ctx (fld i (3 + d))
+                  +. (Dsm.Batch.load_float ctx (fld i (6 + d)) *. dt)
+                in
+                Dsm.Batch.store_float ctx (fld i (3 + d)) v;
+                Dsm.Batch.store_float ctx (fld i d)
+                  (Dsm.Batch.load_float ctx (fld i d) +. (v *. dt));
+                Dsm.Batch.store_float ctx (fld i (6 + d)) 0.0
+              done)
+        done;
+        Dsm.barrier ctx bar
+      done);
+  h
+
+let () =
+  Printf.printf "%d molecules, %d steps, 16 processors\n\n" n steps;
+  List.iter
+    (fun (name, variant, clustering) ->
+      let h = run ~variant ~clustering in
+      let stats = Dsm.aggregate_stats h in
+      Printf.printf
+        "%-24s %8.2f ms   misses %6d   downgrade msgs %5d   mean read %4.1f us\n"
+        name
+        (1000.0 *. float_of_int (Dsm.parallel_cycles h) /. 3.0e8)
+        (Shasta_core.Stats.total_misses stats)
+        (Dsm.downgrade_messages h)
+        (Shasta_core.Stats.mean_read_latency_us stats))
+    [
+      ("Base-Shasta", Config.Base, 1);
+      ("SMP-Shasta cl=4", Config.Smp, 4);
+    ];
+  print_newline ();
+  print_endline
+    "The lock-protected force records migrate between processors; under\n\
+     SMP-Shasta most of that traffic stays inside a node, at the price of\n\
+     downgrade messages when a block leaves the node (cf. Water, Figure 8)."

@@ -1,0 +1,1 @@
+lib/apps/app.ml: Float Shasta_core

@@ -1,0 +1,1 @@
+lib/apps/app.mli: Shasta_core

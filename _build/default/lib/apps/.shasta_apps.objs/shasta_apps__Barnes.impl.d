@@ -1,0 +1,1 @@
+lib/apps/barnes.ml: App Array Float Printf Shasta_core Shasta_util

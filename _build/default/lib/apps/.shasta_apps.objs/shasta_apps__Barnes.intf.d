@@ -1,0 +1,1 @@
+lib/apps/barnes.mli: App

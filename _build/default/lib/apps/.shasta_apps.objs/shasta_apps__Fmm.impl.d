@@ -1,0 +1,1 @@
+lib/apps/fmm.ml: App Array Float List Printf Shasta_core Shasta_util

@@ -1,0 +1,1 @@
+lib/apps/lu.ml: App Array Lu_common Printf Shasta_core Shasta_util

@@ -1,0 +1,1 @@
+lib/apps/lu.mli: App

@@ -1,0 +1,1 @@
+lib/apps/lu_common.ml: App Array Float List Printf Shasta_core Shasta_util

@@ -1,0 +1,1 @@
+lib/apps/lu_common.mli: App Shasta_core Shasta_util

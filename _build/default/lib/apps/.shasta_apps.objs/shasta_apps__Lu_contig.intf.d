@@ -1,0 +1,1 @@
+lib/apps/lu_contig.mli: App

@@ -1,0 +1,1 @@
+lib/apps/ocean.ml: App Array Float List Printf Shasta_core Shasta_util

@@ -1,0 +1,1 @@
+lib/apps/ocean.mli: App

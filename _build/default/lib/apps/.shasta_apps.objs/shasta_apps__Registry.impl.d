@@ -1,0 +1,1 @@
+lib/apps/registry.ml: App Barnes Fmm List Lu Lu_contig Ocean Raytrace Volrend Water_nsq Water_sp

@@ -1,0 +1,1 @@
+lib/apps/task_queue.ml: Array Shasta_core

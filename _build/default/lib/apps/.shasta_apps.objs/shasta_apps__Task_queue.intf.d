@@ -1,0 +1,1 @@
+lib/apps/task_queue.mli: Shasta_core

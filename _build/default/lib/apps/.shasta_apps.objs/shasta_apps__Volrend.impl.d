@@ -1,0 +1,1 @@
+lib/apps/volrend.ml: App Array Float Printf Shasta_core Shasta_util Task_queue

@@ -1,0 +1,1 @@
+lib/apps/volrend.mli: App

@@ -1,0 +1,1 @@
+lib/apps/water_common.ml: Array Float Shasta_util

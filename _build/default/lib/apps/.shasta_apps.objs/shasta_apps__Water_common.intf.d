@@ -1,0 +1,1 @@
+lib/apps/water_common.mli: Shasta_util

@@ -1,0 +1,1 @@
+lib/apps/water_nsq.ml: App Array Float Printf Shasta_core Shasta_util Water_common

@@ -1,0 +1,1 @@
+lib/apps/water_nsq.mli: App

@@ -1,0 +1,1 @@
+lib/apps/water_sp.ml: App Array Float List Printf Shasta_core Shasta_util Water_common

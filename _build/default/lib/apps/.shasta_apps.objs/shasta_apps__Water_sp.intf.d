@@ -1,0 +1,1 @@
+lib/apps/water_sp.mli: App

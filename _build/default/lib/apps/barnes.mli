@@ -1,0 +1,11 @@
+(** SPLASH-2 Barnes (simplified): Barnes-Hut hierarchical N-body.
+
+    Each timestep builds the octree and computes cell centers of mass in
+    a serial phase (the SPLASH version parallelizes the build with
+    per-cell locks; the serial build preserves the read-shared
+    consumption of the cell arrays, which dominates communication), then
+    all processors traverse the tree to compute forces on their body
+    stripe and integrate. The variable-granularity hint allocates the
+    cell array in 512-byte blocks (Table 2). *)
+
+val instance : App.maker

@@ -1,0 +1,474 @@
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module Prng = Shasta_util.Prng
+
+let p_order = 12
+let nterms = p_order + 1 (* complex coefficients a_0..a_p *)
+let coeff_floats = 2 * nterms
+let levels = 4 (* leaf level; level l has 4^l boxes *)
+let leaf_cap = 24
+let body_slots = 4 (* x y q pot *)
+let flop_cycles = 6
+
+let nboxes l = 1 lsl (2 * l)
+let side l = 1 lsl l
+
+(* Binomial table, large enough for C(2p, k). *)
+let binom =
+  let nmax = (2 * p_order) + 2 in
+  let t = Array.make_matrix nmax nmax 0.0 in
+  for i = 0 to nmax - 1 do
+    t.(i).(0) <- 1.0;
+    for j = 1 to i do
+      t.(i).(j) <- t.(i - 1).(j - 1) +. (if j <= i - 1 then t.(i - 1).(j) else 0.0)
+    done
+  done;
+  fun n k -> if k < 0 || k > n then 0.0 else t.(n).(k)
+
+(* Complex helpers over (re, im) pairs packed in float arrays. *)
+let cadd (ar, ai) (br, bi) = (ar +. br, ai +. bi)
+let cmul (ar, ai) (br, bi) = ((ar *. br) -. (ai *. bi), (ar *. bi) +. (ai *. br))
+let cscale s (ar, ai) = (s *. ar, s *. ai)
+let cdiv a (br, bi) =
+  let d = (br *. br) +. (bi *. bi) in
+  cmul a (br /. d, -.bi /. d)
+let clog (ar, ai) = (0.5 *. Float.log ((ar *. ar) +. (ai *. ai)), Float.atan2 ai ar)
+let get c k = (c.(2 * k), c.((2 * k) + 1))
+let set c k (r, i) =
+  c.(2 * k) <- r;
+  c.((2 * k) + 1) <- i
+let acc c k v = set c k (cadd (get c k) v)
+
+(* Abstract memory so the DSM run and the sequential reference share the
+   algorithm. Vectors model batched access to whole expansions. *)
+type mem = {
+  loadf : int -> float;
+  storef : int -> float -> unit;
+  loadi : int -> int;
+  storei : int -> int -> unit;
+  read_vec : int -> int -> float array;
+  write_vec : int -> float array -> unit;
+  work : int -> unit;
+}
+
+type geometry = {
+  n : int;
+  bodies_off : int;
+  mpole_off : int array;  (** per level *)
+  local_off : int array;
+  leaf_off : int;  (** leaf lists: (1 + leaf_cap) slots per leaf box *)
+  total_slots : int;
+}
+
+let make_geometry n =
+  let off = ref 0 in
+  let take k =
+    let v = !off in
+    off := !off + k;
+    v
+  in
+  let bodies_off = take (n * body_slots) in
+  let mpole_off =
+    Array.init (levels + 1) (fun l ->
+        if l < 2 then 0 else take (nboxes l * coeff_floats))
+  in
+  let local_off =
+    Array.init (levels + 1) (fun l ->
+        if l < 2 then 0 else take (nboxes l * coeff_floats))
+  in
+  let leaf_off = take (nboxes levels * (1 + leaf_cap)) in
+  { n; bodies_off; mpole_off; local_off; leaf_off; total_slots = !off }
+
+let body_slot g i k = g.bodies_off + (i * body_slots) + k
+let mpole_slot g l b = g.mpole_off.(l) + (b * coeff_floats)
+let local_slot g l b = g.local_off.(l) + (b * coeff_floats)
+let leaf_slot g b = g.leaf_off + (b * (1 + leaf_cap))
+
+let box_center l b =
+  let s = side l in
+  let ix = b mod s and iy = b / s in
+  let w = 1.0 /. float_of_int s in
+  ((float_of_int ix +. 0.5) *. w, (float_of_int iy +. 0.5) *. w)
+
+let box_index l x y =
+  let s = side l in
+  let ix = min (s - 1) (int_of_float (x *. float_of_int s)) in
+  let iy = min (s - 1) (int_of_float (y *. float_of_int s)) in
+  (iy * s) + ix
+
+let neighbors l b =
+  let s = side l in
+  let ix = b mod s and iy = b / s in
+  let acc = ref [] in
+  for dy = -1 to 1 do
+    for dx = -1 to 1 do
+      let nx = ix + dx and ny = iy + dy in
+      if nx >= 0 && nx < s && ny >= 0 && ny < s then
+        acc := ((ny * s) + nx) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let adjacent l a b =
+  let s = side l in
+  abs ((a mod s) - (b mod s)) <= 1 && abs ((a / s) - (b / s)) <= 1
+
+(* Children of the parent's neighbours that are not adjacent to [b]. *)
+let interaction_list l b =
+  let parent = ((b / side l / 2 * (side l / 2)) + (b mod side l / 2)) in
+  let kids pb =
+    let ps = side (l - 1) in
+    let px = pb mod ps and py = pb / ps in
+    List.concat_map
+      (fun dy ->
+        List.map (fun dx -> (((2 * py) + dy) * side l) + (2 * px) + dx) [ 0; 1 ])
+      [ 0; 1 ]
+  in
+  List.concat_map kids (neighbors (l - 1) parent)
+  |> List.filter (fun c -> not (adjacent l c b))
+
+(* --- Expansion operators (log kernel). --- *)
+
+let p2m mem g b =
+  let cx, cy = box_center levels b in
+  let c = Array.make coeff_floats 0.0 in
+  let cnt = mem.loadi (leaf_slot g b) in
+  for m = 0 to cnt - 1 do
+    let i = mem.loadi (leaf_slot g b + 1 + m) in
+    let x = mem.loadf (body_slot g i 0)
+    and y = mem.loadf (body_slot g i 1)
+    and q = mem.loadf (body_slot g i 2) in
+    let z = (x -. cx, y -. cy) in
+    acc c 0 (q, 0.0);
+    let zk = ref (1.0, 0.0) in
+    for k = 1 to p_order do
+      zk := cmul !zk z;
+      acc c k (cscale (-.q /. float_of_int k) !zk);
+      mem.work (6 * flop_cycles)
+    done
+  done;
+  mem.write_vec (mpole_slot g levels b) c
+
+let m2m mem g l b =
+  (* Combine the four children's multipoles into box [b] at level [l]. *)
+  let cx, cy = box_center l b in
+  let out = Array.make coeff_floats 0.0 in
+  let s = side l in
+  let ix = b mod s and iy = b / s in
+  for dy = 0 to 1 do
+    for dx = 0 to 1 do
+      let cb = ((((2 * iy) + dy) * side (l + 1)) + (2 * ix) + dx) in
+      let a = mem.read_vec (mpole_slot g (l + 1) cb) coeff_floats in
+      let ccx, ccy = box_center (l + 1) cb in
+      let d = (ccx -. cx, ccy -. cy) in
+      let a0 = get a 0 in
+      acc out 0 a0;
+      let dl = ref (1.0, 0.0) in
+      for ll = 1 to p_order do
+        dl := cmul !dl d;
+        (* -a0 d^l / l *)
+        acc out ll (cscale (-1.0 /. float_of_int ll) (cmul a0 !dl));
+        let dpow = ref (1.0, 0.0) in
+        (* sum_{k=1..l} a_k d^{l-k} C(l-1,k-1), accumulate from k=l down *)
+        for k = ll downto 1 do
+          (* d^{l-k}: when k = l this is 1; we build it incrementally. *)
+          acc out ll (cscale (binom (ll - 1) (k - 1)) (cmul (get a k) !dpow));
+          dpow := cmul !dpow d;
+          mem.work (8 * flop_cycles)
+        done
+      done
+    done
+  done;
+  mem.write_vec (mpole_slot g l b) out
+
+let m2l mem g l ~src ~dst out =
+  let sx, sy = box_center l src and dx_, dy_ = box_center l dst in
+  let a = mem.read_vec (mpole_slot g l src) coeff_floats in
+  let d = (sx -. dx_, sy -. dy_) in
+  let a0 = get a 0 in
+  (* c_0 = a0 log(-d) + sum_k a_k (-1)^k / d^k *)
+  let c0 = ref (cmul a0 (clog (cscale (-1.0) d))) in
+  let dk = ref (1.0, 0.0) in
+  for k = 1 to p_order do
+    dk := cmul !dk d;
+    let sign = if k land 1 = 1 then -1.0 else 1.0 in
+    c0 := cadd !c0 (cscale sign (cdiv (get a k) !dk));
+    mem.work (8 * flop_cycles)
+  done;
+  acc out 0 !c0;
+  let dl = ref (1.0, 0.0) in
+  for ll = 1 to p_order do
+    dl := cmul !dl d;
+    (* -a0 / (l d^l) *)
+    let t = ref (cscale (-1.0 /. float_of_int ll) (cdiv a0 !dl)) in
+    let dk = ref (1.0, 0.0) in
+    for k = 1 to p_order do
+      dk := cmul !dk d;
+      let sign = if k land 1 = 1 then -1.0 else 1.0 in
+      t :=
+        cadd !t
+          (cscale
+             (sign *. binom (ll + k - 1) (k - 1))
+             (cdiv (cdiv (get a k) !dk) !dl));
+      mem.work (8 * flop_cycles)
+    done;
+    acc out ll !t
+  done
+
+let l2l mem g l ~parent ~child out =
+  (* Shift the parent's local expansion to the child's center. *)
+  let px, py = box_center (l - 1) parent and cx, cy = box_center l child in
+  let c = mem.read_vec (local_slot g (l - 1) parent) coeff_floats in
+  let d = (cx -. px, cy -. py) in
+  for ll = 0 to p_order do
+    let t = ref (0.0, 0.0) in
+    for k = ll to p_order do
+      (* c_k C(k,l) d^{k-l} *)
+      let dp = ref (1.0, 0.0) in
+      for _ = 1 to k - ll do
+        dp := cmul !dp d
+      done;
+      t := cadd !t (cscale (binom k ll) (cmul (get c k) !dp));
+      mem.work (6 * flop_cycles)
+    done;
+    acc out ll !t
+  done
+
+let eval_local c (zx, zy) =
+  let v = ref (0.0, 0.0) in
+  let zp = ref (1.0, 0.0) in
+  for k = 0 to p_order do
+    v := cadd !v (cmul (get c k) !zp);
+    zp := cmul !zp (zx, zy)
+  done;
+  fst !v
+
+(* --- Driver, shared by the parallel and reference executions. --- *)
+
+type part = { lo : int array; hi : int array; blo : int; bhi : int }
+(* per-level box ranges and body range for one processor *)
+
+let run_fmm mem g part ~sync =
+  (* Phase 1: leaf lists (each proc fills its own leaf boxes). *)
+  for b = part.lo.(levels) to part.hi.(levels) - 1 do
+    mem.storei (leaf_slot g b) 0
+  done;
+  for i = 0 to g.n - 1 do
+    let x = mem.loadf (body_slot g i 0) and y = mem.loadf (body_slot g i 1) in
+    let b = box_index levels x y in
+    mem.work (4 * flop_cycles);
+    if b >= part.lo.(levels) && b < part.hi.(levels) then begin
+      let cnt = mem.loadi (leaf_slot g b) in
+      if cnt < leaf_cap then begin
+        mem.storei (leaf_slot g b + 1 + cnt) i;
+        mem.storei (leaf_slot g b) (cnt + 1)
+      end
+    end
+  done;
+  sync ();
+  (* Phase 2: P2M on own leaves. *)
+  for b = part.lo.(levels) to part.hi.(levels) - 1 do
+    p2m mem g b
+  done;
+  sync ();
+  (* Phase 3: M2M upward. *)
+  for l = levels - 1 downto 2 do
+    for b = part.lo.(l) to part.hi.(l) - 1 do
+      m2m mem g l b
+    done;
+    sync ()
+  done;
+  (* Phase 4: downward M2L (+ L2L below the top transfer level). *)
+  for l = 2 to levels do
+    for b = part.lo.(l) to part.hi.(l) - 1 do
+      let out = Array.make coeff_floats 0.0 in
+      if l > 2 then begin
+        let s = side l in
+        let parent = ((b / s / 2 * (s / 2)) + (b mod s / 2)) in
+        l2l mem g l ~parent ~child:b out
+      end;
+      List.iter (fun src -> m2l mem g l ~src ~dst:b out) (interaction_list l b);
+      mem.write_vec (local_slot g l b) out
+    done;
+    sync ()
+  done;
+  (* Phase 5: evaluation on own leaves (L2P + P2P over neighbours). *)
+  for b = part.lo.(levels) to part.hi.(levels) - 1 do
+    let cx, cy = box_center levels b in
+    let c = mem.read_vec (local_slot g levels b) coeff_floats in
+    let cnt = mem.loadi (leaf_slot g b) in
+    for m = 0 to cnt - 1 do
+      let i = mem.loadi (leaf_slot g b + 1 + m) in
+      let x = mem.loadf (body_slot g i 0) and y = mem.loadf (body_slot g i 1) in
+      let pot = ref (eval_local c (x -. cx, y -. cy)) in
+      mem.work (nterms * 4 * flop_cycles);
+      List.iter
+        (fun nb ->
+          let ncnt = mem.loadi (leaf_slot g nb) in
+          for mm = 0 to ncnt - 1 do
+            let j = mem.loadi (leaf_slot g nb + 1 + mm) in
+            if j <> i then begin
+              let xj = mem.loadf (body_slot g j 0)
+              and yj = mem.loadf (body_slot g j 1)
+              and qj = mem.loadf (body_slot g j 2) in
+              let dx = x -. xj and dy = y -. yj in
+              pot :=
+                !pot
+                +. (qj *. 0.5 *. Float.log ((dx *. dx) +. (dy *. dy)));
+              mem.work (8 * flop_cycles)
+            end
+          done)
+        (neighbors levels b);
+      mem.storef (body_slot g i 3) !pot
+    done
+  done;
+  sync ()
+
+let make_part np p =
+  let lo = Array.make (levels + 1) 0 and hi = Array.make (levels + 1) 0 in
+  for l = 2 to levels do
+    lo.(l) <- p * nboxes l / np;
+    hi.(l) <- (p + 1) * nboxes l / np
+  done;
+  { lo; hi; blo = 0; bhi = 0 }
+
+let instance ?(vg = false) ?(scale = 1.0) () =
+  let n = App.scaled scale 1024 in
+  let g = make_geometry n in
+  {
+    App.name = "fmm";
+    workload =
+      Printf.sprintf "%d bodies, %d levels, p=%d%s" n levels p_order
+        (if vg then ", vg 256B" else "");
+    heap_bytes = (g.total_slots * 8) + (1 lsl 17);
+    setup =
+      (fun h ->
+        let prng = Prng.create 2718 in
+        let init = Array.make g.total_slots 0.0 in
+        for i = 0 to n - 1 do
+          init.(body_slot g i 0) <- Prng.float prng 1.0;
+          init.(body_slot g i 1) <- Prng.float prng 1.0;
+          init.(body_slot g i 2) <- Prng.float prng 1.0 +. 0.1
+        done;
+        (* Shared arrays: bodies; box expansions (vg hint); leaf lists. *)
+        let bodies = Dsm.alloc_floats h (g.bodies_off + (n * body_slots)) in
+        let boxes_floats = g.leaf_off - g.mpole_off.(2) in
+        let boxes =
+          Dsm.alloc_floats h
+            ?block_size:(if vg then Some 256 else None)
+            boxes_floats
+        in
+        let leaves = Dsm.alloc_floats h (g.total_slots - g.leaf_off) in
+        let addr_of_slot s =
+          if s < g.mpole_off.(2) then bodies + (8 * s)
+          else if s < g.leaf_off then boxes + (8 * (s - g.mpole_off.(2)))
+          else leaves + (8 * (s - g.leaf_off))
+        in
+        (* Home placement: box expansions and leaf lists at their owners. *)
+        let np = (Dsm.config h).Config.nprocs in
+        for p = 0 to np - 1 do
+          let part = make_part np p in
+          for l = 2 to levels do
+            if part.hi.(l) > part.lo.(l) then begin
+              Dsm.place h
+                ~addr:(addr_of_slot (mpole_slot g l part.lo.(l)))
+                ~len:((part.hi.(l) - part.lo.(l)) * coeff_floats * 8)
+                ~proc:p;
+              Dsm.place h
+                ~addr:(addr_of_slot (local_slot g l part.lo.(l)))
+                ~len:((part.hi.(l) - part.lo.(l)) * coeff_floats * 8)
+                ~proc:p
+            end
+          done;
+          if part.hi.(levels) > part.lo.(levels) then
+            Dsm.place h
+              ~addr:(addr_of_slot (leaf_slot g part.lo.(levels)))
+              ~len:((part.hi.(levels) - part.lo.(levels)) * (1 + leaf_cap) * 8)
+              ~proc:p
+        done;
+        for i = 0 to n - 1 do
+          for k = 0 to body_slots - 1 do
+            Dsm.poke_float h (addr_of_slot (body_slot g i k)) init.(body_slot g i k)
+          done
+        done;
+        (* Sequential reference. *)
+        let ref_mem =
+          {
+            loadf = (fun s -> init.(s));
+            storef = (fun s v -> init.(s) <- v);
+            loadi = (fun s -> int_of_float init.(s));
+            storei = (fun s v -> init.(s) <- float_of_int v);
+            read_vec = (fun s k -> Array.sub init s k);
+            write_vec = (fun s v -> Array.blit v 0 init s (Array.length v));
+            work = ignore;
+          }
+        in
+        run_fmm ref_mem g (make_part 1 0) ~sync:ignore;
+        (* Direct-sum accuracy check data. *)
+        let direct = Array.make n 0.0 in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if j <> i then begin
+              let dx = init.(body_slot g i 0) -. init.(body_slot g j 0)
+              and dy = init.(body_slot g i 1) -. init.(body_slot g j 1) in
+              direct.(i) <-
+                direct.(i)
+                +. (init.(body_slot g j 2) *. 0.5
+                   *. Float.log ((dx *. dx) +. (dy *. dy)))
+            end
+          done
+        done;
+        let bar = Dsm.alloc_barrier h in
+        let body ctx =
+          let p = Dsm.pid ctx in
+          let part = make_part (Dsm.nprocs ctx) p in
+          let mem =
+            {
+              loadf = (fun s -> Dsm.load_float ctx (addr_of_slot s));
+              storef = (fun s v -> Dsm.store_float ctx (addr_of_slot s) v);
+              loadi = (fun s -> Dsm.load_int ctx (addr_of_slot s));
+              storei = (fun s v -> Dsm.store_int ctx (addr_of_slot s) v);
+              read_vec =
+                (fun s k ->
+                  let a = Array.make k 0.0 in
+                  Dsm.batch ctx
+                    [ (addr_of_slot s, k * 8, Dsm.R) ]
+                    (fun () ->
+                      for i = 0 to k - 1 do
+                        a.(i) <- Dsm.Batch.load_float ctx (addr_of_slot (s + i))
+                      done);
+                  a);
+              write_vec =
+                (fun s v ->
+                  Dsm.batch ctx
+                    [ (addr_of_slot s, Array.length v * 8, Dsm.W) ]
+                    (fun () ->
+                      Array.iteri
+                        (fun i x ->
+                          Dsm.Batch.store_float ctx (addr_of_slot (s + i)) x)
+                        v));
+              work = (fun c -> Dsm.compute ctx c);
+            }
+          in
+          run_fmm mem g part ~sync:(fun () -> Dsm.barrier ctx bar)
+        in
+        let verify h =
+          let worst = ref 0.0 and direct_err = ref 0.0 in
+          for i = 0 to n - 1 do
+            let got = Dsm.peek_float h (addr_of_slot (body_slot g i 3)) in
+            let want = init.(body_slot g i 3) in
+            let scale = Float.max 1.0 (Float.abs want) in
+            worst := Float.max !worst (Float.abs (got -. want) /. scale);
+            direct_err :=
+              Float.max !direct_err
+                (Float.abs (got -. direct.(i))
+                /. Float.max 1.0 (Float.abs direct.(i)))
+          done;
+          let detail =
+            Printf.sprintf "vs ref %.2e; vs direct %.2e" !worst !direct_err
+          in
+          if !worst < 1e-8 && !direct_err < 0.2 then App.pass ~detail
+          else App.fail ~detail
+        in
+        (body, verify));
+  }

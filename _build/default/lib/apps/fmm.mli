@@ -1,0 +1,16 @@
+(** SPLASH-2 FMM (simplified): 2-D uniform fast multipole method for the
+    logarithmic potential.
+
+    A full adaptive FMM is reduced to the uniform case: a fixed box
+    hierarchy, upward multipole pass (P2M, M2M), transfer pass (M2L over
+    the standard interaction lists), downward pass (L2L), and evaluation
+    (L2P plus P2P over the 3×3 leaf neighbourhood). Box expansions are
+    partitioned per level and homed at their owners; expansion reads and
+    writes are batched, so the communication pattern — read-shared
+    consumption of neighbour boxes' expansions — matches the original.
+    The variable-granularity hint allocates the box arrays in 256-byte
+    blocks (Table 2). Verification is twofold: exact agreement with a
+    sequential run of the same algorithm, and a loose accuracy check
+    against the direct O(n²) sum. *)
+
+val instance : App.maker

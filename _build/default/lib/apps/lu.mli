@@ -1,0 +1,9 @@
+(** SPLASH-2 LU: blocked dense LU factorization, non-contiguous layout.
+
+    The matrix is one row-major n×n array of doubles; a 16×16 element
+    block's rows are strided across the array, so with the default
+    64-byte coherence blocks there is communication at block edges. The
+    variable-granularity hint sets the matrix array's coherence block
+    size to 128 bytes (Table 2). *)
+
+val instance : App.maker

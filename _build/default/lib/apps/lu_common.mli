@@ -1,0 +1,47 @@
+(** Shared machinery of the two LU factorization kernels.
+
+    Both factor a dense n×n matrix (no pivoting; the generator makes it
+    diagonally dominant) in B×B element blocks with the standard
+    SPLASH-2 2-D scatter ownership. They differ only in the memory
+    layout of the blocks. *)
+
+val proc_grid : int -> int * int
+(** [proc_grid np] = (rows, cols) with rows*cols = np, rows <= cols. *)
+
+val owner : pr:int -> pc:int -> int -> int -> int
+(** Owner processor of block (bi, bj) under 2-D scatter. *)
+
+val generate : Shasta_util.Prng.t -> int -> float array
+(** Random diagonally-dominant n×n matrix, row-major. *)
+
+val reference_lu : float array -> int -> unit
+(** In-place unblocked LU factorization (L unit-diagonal, packed). *)
+
+(** Element addressing abstraction: [addr i j] is the shared-heap address
+    of element (i, j). *)
+type layout = { addr : int -> int -> int }
+
+val factor_diag :
+  Shasta_core.Dsm.ctx -> layout -> bsz:int -> k:int -> unit
+(** In-place LU of the diagonal block [k] (block-row/col index). *)
+
+val div_column_block :
+  Shasta_core.Dsm.ctx -> layout -> bsz:int -> k:int -> i:int -> unit
+(** A(i,k) := A(i,k) · U(k,k)⁻¹. *)
+
+val div_row_block :
+  Shasta_core.Dsm.ctx -> layout -> bsz:int -> k:int -> j:int -> unit
+(** A(k,j) := L(k,k)⁻¹ · A(k,j). *)
+
+val update_block :
+  Shasta_core.Dsm.ctx -> layout -> bsz:int -> k:int -> i:int -> j:int -> unit
+(** A(i,j) -= A(i,k) · A(k,j). *)
+
+val block_ranges :
+  layout -> bsz:int -> bi:int -> bj:int -> Shasta_core.Dsm.access ->
+  (int * int * Shasta_core.Dsm.access) list
+(** Batch ranges covering a block (one per block row). *)
+
+val verify_against :
+  Shasta_core.Dsm.handle -> layout -> n:int -> float array -> App.verdict
+(** Compare the factored shared matrix against a reference. *)

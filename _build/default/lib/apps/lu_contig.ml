@@ -1,0 +1,69 @@
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+
+let bsz = 16
+
+let instance ?(vg = false) ?(scale = 1.0) () =
+  let nb = App.scaled scale 12 in
+  let n = nb * bsz in
+  {
+    App.name = "lu-contig";
+    workload = Printf.sprintf "%dx%d matrix, contiguous %dx%d blocks%s" n n bsz
+        bsz (if vg then ", vg 2048B" else "");
+    heap_bytes = (n * n * 8) + (1 lsl 16);
+    setup =
+      (fun h ->
+        let prng = Shasta_util.Prng.create 1234 in
+        let reference = Lu_common.generate prng n in
+        let np = (Dsm.config h).Config.nprocs in
+        let pr, pc = Lu_common.proc_grid np in
+        (* Block-major allocation, each block homed at its owner. *)
+        let block_bytes = bsz * bsz * 8 in
+        let mat =
+          Dsm.alloc_floats h
+            ?block_size:(if vg then Some block_bytes else None)
+            (n * n)
+        in
+        let block_base bi bj = mat + (block_bytes * ((bi * nb) + bj)) in
+        for bi = 0 to nb - 1 do
+          for bj = 0 to nb - 1 do
+            Dsm.place h ~addr:(block_base bi bj) ~len:block_bytes
+              ~proc:(Lu_common.owner ~pr ~pc bi bj)
+          done
+        done;
+        let addr i j =
+          block_base (i / bsz) (j / bsz)
+          + (8 * (((i mod bsz) * bsz) + (j mod bsz)))
+        in
+        let layout = { Lu_common.addr } in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            Dsm.poke_float h (addr i j) reference.((i * n) + j)
+          done
+        done;
+        Lu_common.reference_lu reference n;
+        let bar = Dsm.alloc_barrier h in
+        let body ctx =
+          let p = Dsm.pid ctx in
+          let mine bi bj = Lu_common.owner ~pr ~pc bi bj = p in
+          for k = 0 to nb - 1 do
+            if mine k k then Lu_common.factor_diag ctx layout ~bsz ~k;
+            Dsm.barrier ctx bar;
+            for i = k + 1 to nb - 1 do
+              if mine i k then Lu_common.div_column_block ctx layout ~bsz ~k ~i
+            done;
+            for j = k + 1 to nb - 1 do
+              if mine k j then Lu_common.div_row_block ctx layout ~bsz ~k ~j
+            done;
+            Dsm.barrier ctx bar;
+            for i = k + 1 to nb - 1 do
+              for j = k + 1 to nb - 1 do
+                if mine i j then Lu_common.update_block ctx layout ~bsz ~k ~i ~j
+              done
+            done;
+            Dsm.barrier ctx bar
+          done
+        in
+        let verify h = Lu_common.verify_against h layout ~n reference in
+        (body, verify));
+  }

@@ -1,0 +1,9 @@
+(** SPLASH-2 LU-Contiguous: blocked dense LU with block-major layout.
+
+    Each 16×16 element block is contiguous in memory and homed at its
+    owning processor (the standard home-placement optimization). The
+    variable-granularity hint makes each data block one 2048-byte
+    coherence block (Table 2), eliminating all intra-block false
+    sharing. *)
+
+val instance : App.maker

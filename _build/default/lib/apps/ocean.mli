@@ -1,0 +1,11 @@
+(** SPLASH-2 Ocean (simplified): red-black SOR relaxation on an
+    (n+2)×(n+2) grid with fixed boundaries.
+
+    Rows are partitioned contiguously and homed at their owners (the
+    standard home-placement optimization); each sweep reads the two
+    neighbouring rows, so communication is nearest-neighbour — the
+    pattern that makes Ocean the biggest clustering winner in the paper.
+    The full SPLASH-2 Ocean is a multigrid solver; a fixed-iteration SOR
+    kernel preserves its sharing and synchronization structure. *)
+
+val instance : App.maker

@@ -1,0 +1,157 @@
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module Prng = Shasta_util.Prng
+
+let sphere_slots = 8 (* cx cy cz r col_r col_g col_b reflect *)
+let tile = 8
+let flop_cycles = 6
+
+(* The tracer is written over an abstract scene accessor so the parallel
+   run and the sequential reference share the code exactly. *)
+type scene = {
+  nspheres : int;
+  sph : int -> int -> float;  (* sphere, field *)
+  work : int -> unit;
+}
+
+let eye = (0.0, 0.0, -3.0)
+let light = (5.0, 8.0, -4.0)
+
+let norm3 (x, y, z) =
+  let l = Float.sqrt ((x *. x) +. (y *. y) +. (z *. z)) in
+  (x /. l, y /. l, z /. l)
+
+let dot (ax, ay, az) (bx, by, bz) = (ax *. bx) +. (ay *. by) +. (az *. bz)
+let sub (ax, ay, az) (bx, by, bz) = (ax -. bx, ay -. by, az -. bz)
+let add (ax, ay, az) (bx, by, bz) = (ax +. bx, ay +. by, az +. bz)
+let scale s (x, y, z) = (s *. x, s *. y, s *. z)
+
+(* Nearest positive intersection of the ray with any sphere. *)
+let intersect sc ~origin ~dir ~skip =
+  let best = ref None in
+  for s = 0 to sc.nspheres - 1 do
+    if s <> skip then begin
+      let c = (sc.sph s 0, sc.sph s 1, sc.sph s 2) in
+      let r = sc.sph s 3 in
+      let oc = sub origin c in
+      let b = dot oc dir in
+      let q = dot oc oc -. (r *. r) in
+      let disc = (b *. b) -. q in
+      sc.work (12 * flop_cycles);
+      if disc > 0.0 then begin
+        let t = -.b -. Float.sqrt disc in
+        if t > 1e-6 then
+          match !best with
+          | Some (bt, _) when bt <= t -> ()
+          | _ -> best := Some (t, s)
+      end
+    end
+  done;
+  !best
+
+let rec trace sc ~origin ~dir ~skip ~depth =
+  match intersect sc ~origin ~dir ~skip with
+  | None -> 0.05 (* background *)
+  | Some (t, s) ->
+    let hit = add origin (scale t dir) in
+    let center = (sc.sph s 0, sc.sph s 1, sc.sph s 2) in
+    let n = norm3 (sub hit center) in
+    let ldir = norm3 (sub light hit) in
+    let shadowed =
+      match intersect sc ~origin:hit ~dir:ldir ~skip:s with
+      | Some _ -> true
+      | None -> false
+    in
+    let diffuse = if shadowed then 0.0 else Float.max 0.0 (dot n ldir) in
+    let albedo = sc.sph s 4 in
+    sc.work (20 * flop_cycles);
+    let local = (0.1 +. (0.9 *. diffuse)) *. albedo in
+    let refl = sc.sph s 7 in
+    if refl > 0.0 && depth > 0 then begin
+      let d = sub dir (scale (2.0 *. dot dir n) n) in
+      local +. (refl *. trace sc ~origin:hit ~dir:(norm3 d) ~skip:s ~depth:(depth - 1))
+    end
+    else local
+
+let render_pixel sc ~w ~h x y =
+  let px = ((float_of_int x +. 0.5) /. float_of_int w) -. 0.5 in
+  let py = ((float_of_int y +. 0.5) /. float_of_int h) -. 0.5 in
+  let dir = norm3 (sub (px, -.py, 0.0) eye) in
+  trace sc ~origin:eye ~dir ~skip:(-1) ~depth:2
+
+let instance ?(vg = false) ?(scale = 1.0) () =
+  ignore vg;
+  (* Raytrace is not in Table 2; no granularity hint. *)
+  let w = App.scaled scale 48 and h = App.scaled scale 48 in
+  let nspheres = App.scaled scale 48 in
+  {
+    App.name = "raytrace";
+    workload = Printf.sprintf "%dx%d image, %d spheres, depth 2" w h nspheres;
+    heap_bytes = ((nspheres * sphere_slots) + (w * h) + 4096) * 8 + (1 lsl 16);
+    setup =
+      (fun h_ ->
+        let prng = Prng.create 31415 in
+        let scene_data = Array.make (nspheres * sphere_slots) 0.0 in
+        for s = 0 to nspheres - 1 do
+          let base = s * sphere_slots in
+          scene_data.(base + 0) <- (Prng.float prng 4.0) -. 2.0;
+          scene_data.(base + 1) <- (Prng.float prng 4.0) -. 2.0;
+          scene_data.(base + 2) <- 1.0 +. Prng.float prng 4.0;
+          scene_data.(base + 3) <- 0.15 +. Prng.float prng 0.35;
+          scene_data.(base + 4) <- 0.3 +. Prng.float prng 0.7;
+          scene_data.(base + 5) <- Prng.float prng 1.0;
+          scene_data.(base + 6) <- Prng.float prng 1.0;
+          scene_data.(base + 7) <- (if Prng.bool prng then 0.3 else 0.0)
+        done;
+        let spheres = Dsm.alloc_floats h_ (nspheres * sphere_slots) in
+        let fb = Dsm.alloc_floats h_ (w * h) in
+        Array.iteri (fun i v -> Dsm.poke_float h_ (spheres + (8 * i)) v) scene_data;
+        let tiles_x = (w + tile - 1) / tile and tiles_y = (h + tile - 1) / tile in
+        let tq = Task_queue.create h_ ~ntasks:(tiles_x * tiles_y) in
+        let bar = Dsm.alloc_barrier h_ in
+        (* Sequential reference image. *)
+        let ref_scene =
+          {
+            nspheres;
+            sph = (fun s k -> scene_data.((s * sphere_slots) + k));
+            work = ignore;
+          }
+        in
+        let reference = Array.make (w * h) 0.0 in
+        for y = 0 to h - 1 do
+          for x = 0 to w - 1 do
+            reference.((y * w) + x) <- render_pixel ref_scene ~w ~h x y
+          done
+        done;
+        let body ctx =
+          let sc =
+            {
+              nspheres;
+              sph =
+                (fun s k ->
+                  Dsm.load_float ctx (spheres + (8 * ((s * sphere_slots) + k))));
+              work = (fun c -> Dsm.compute ctx c);
+            }
+          in
+          Task_queue.drain tq ctx (fun tidx ->
+              let ty = tidx / tiles_x and tx = tidx mod tiles_x in
+              for y = ty * tile to min h (ty * tile + tile) - 1 do
+                for x = tx * tile to min w (tx * tile + tile) - 1 do
+                  let v = render_pixel sc ~w ~h x y in
+                  Dsm.store_float ctx (fb + (8 * ((y * w) + x))) v
+                done
+              done);
+          Dsm.barrier ctx bar
+        in
+        let verify h_ =
+          let worst = ref 0.0 in
+          for i = 0 to (w * h) - 1 do
+            let got = Dsm.peek_float h_ (fb + (8 * i)) in
+            worst := Float.max !worst (Float.abs (got -. reference.(i)))
+          done;
+          if !worst < 1e-9 then
+            App.pass ~detail:(Printf.sprintf "max pixel err %.2e" !worst)
+          else App.fail ~detail:(Printf.sprintf "max pixel err %.2e" !worst)
+        in
+        (body, verify));
+  }

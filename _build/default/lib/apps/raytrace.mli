@@ -1,0 +1,11 @@
+(** SPLASH-2 Raytrace (simplified): recursive ray tracer over a shared
+    sphere scene.
+
+    The scene is read-shared after the first fetch; the dominant DSM
+    cost is the flag-based check on every (unbatched) float load while
+    intersecting — which is why Raytrace suffers the largest SMP-Shasta
+    checking-overhead increase in Table 1 (the atomic float-load check
+    of §3.4.1). Image tiles are distributed through per-processor task
+    queues with stealing. *)
+
+val instance : App.maker

@@ -1,0 +1,16 @@
+(** Catalogue of the nine SPLASH-2 workloads. *)
+
+val all : (string * App.maker) list
+(** In the paper's Table 1 order: barnes, fmm, lu, lu-contig, ocean,
+    raytrace, volrend, water-nsq, water-sp. *)
+
+val find : string -> App.maker
+(** Raises [Not_found] for unknown names. *)
+
+val names : string list
+
+val table2 : string list
+(** The six applications with a variable-granularity hint (Table 2). *)
+
+val table3 : string list
+(** The seven applications measured at larger problem sizes (Table 3). *)

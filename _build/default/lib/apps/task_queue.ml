@@ -1,0 +1,58 @@
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+
+type t = {
+  nprocs : int;
+  cap : int;
+  queues : int;  (** base address: per proc, (1 + cap) ints *)
+  locks : int array;
+}
+
+let q_count t p = t.queues + (p * (1 + t.cap) * 8)
+let q_item t p i = t.queues + (((p * (1 + t.cap)) + 1 + i) * 8)
+
+let create h ~ntasks =
+  let nprocs = (Dsm.config h).Config.nprocs in
+  let cap = ntasks in
+  let queues = Dsm.alloc h (nprocs * (1 + cap) * 8) in
+  let t = { nprocs; cap; queues; locks = Array.init nprocs (fun _ -> Dsm.alloc_lock h) } in
+  let counts = Array.make nprocs 0 in
+  for task = 0 to ntasks - 1 do
+    let p = task mod nprocs in
+    Dsm.poke_int h (q_item t p counts.(p)) task;
+    counts.(p) <- counts.(p) + 1
+  done;
+  Array.iteri (fun p c -> Dsm.poke_int h (q_count t p) c) counts;
+  t
+
+let try_pop t ctx victim =
+  Dsm.lock ctx t.locks.(victim);
+  let n = Dsm.load_int ctx (q_count t victim) in
+  let r =
+    if n > 0 then begin
+      let task = Dsm.load_int ctx (q_item t victim (n - 1)) in
+      Dsm.store_int ctx (q_count t victim) (n - 1);
+      Some task
+    end
+    else None
+  in
+  Dsm.unlock ctx t.locks.(victim);
+  r
+
+let drain t ctx worker =
+  let p = Dsm.pid ctx in
+  let rec next victim tried =
+    if tried >= t.nprocs then None
+    else
+      match try_pop t ctx victim with
+      | Some task -> Some task
+      | None -> next ((victim + 1) mod t.nprocs) (tried + 1)
+  in
+  let rec loop () =
+    match next p 0 with
+    | Some task ->
+      worker task;
+      loop ()
+    | None -> ()
+  in
+  loop ()

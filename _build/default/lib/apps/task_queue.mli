@@ -1,0 +1,17 @@
+(** Distributed work queues with stealing, in shared memory.
+
+    Raytrace and Volrend distribute image tiles through per-processor
+    task queues protected by locks; an idle processor steals from other
+    queues. Queue contention makes the queue blocks migratory — one of
+    the sharing patterns of the two rendering workloads. *)
+
+type t
+
+val create : Shasta_core.Dsm.handle -> ntasks:int -> t
+(** Allocate one queue per processor and deal tasks 0..ntasks-1
+    round-robin (setup phase). *)
+
+val drain : t -> Shasta_core.Dsm.ctx -> (int -> unit) -> unit
+(** Repeatedly pop a task from the caller's queue (or steal from the
+    others when empty) and run the worker on it, until every queue is
+    empty. *)

@@ -1,0 +1,134 @@
+module Dsm = Shasta_core.Dsm
+module Prng = Shasta_util.Prng
+
+let tile = 8
+let flop_cycles = 6
+
+type vol = {
+  size : int;
+  voxel : int -> int -> int -> int;  (* x y z -> density 0..255 *)
+  opacity : int -> int;  (* scaled by 2^16, integer table lookup *)
+  emission : int -> int;
+  work : int -> unit;
+}
+
+let table_scale = 65536.0
+let unscale v = float_of_int v /. table_scale
+
+let cast v ~w ~h x y =
+  let fx = (float_of_int x +. 0.5) /. float_of_int w in
+  let fy = (float_of_int y +. 0.5) /. float_of_int h in
+  let ix = min (v.size - 1) (int_of_float (fx *. float_of_int v.size)) in
+  let iy = min (v.size - 1) (int_of_float (fy *. float_of_int v.size)) in
+  let color = ref 0.0 and alpha = ref 0.0 in
+  let z = ref 0 in
+  while !z < v.size && !alpha < 0.98 do
+    let d = v.voxel ix iy !z in
+    if d > 8 then begin
+      let a = unscale (v.opacity d) in
+      color := !color +. ((1.0 -. !alpha) *. a *. unscale (v.emission d));
+      alpha := !alpha +. ((1.0 -. !alpha) *. a);
+      (* Trilinear interpolation and gradient shading of the original
+         renderer: ~60 flops per non-transparent sample. *)
+      v.work (60 * flop_cycles)
+    end
+    else v.work (4 * flop_cycles);
+    incr z
+  done;
+  !color
+
+let density size x y z =
+  (* Nested shells around the volume center, with a deterministic
+     pseudo-noise term. *)
+  let c = float_of_int size /. 2.0 in
+  let dx = float_of_int x -. c and dy = float_of_int y -. c and dz = float_of_int z -. c in
+  let r = Float.sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) /. c in
+  let shell m w = Float.exp (-.(((r -. m) /. w) ** 2.0)) in
+  let v = (200.0 *. shell 0.25 0.08) +. (120.0 *. shell 0.6 0.05) +. (60.0 *. shell 0.85 0.04) in
+  let noise = float_of_int (((x * 73) + (y * 179) + (z * 283)) mod 17) in
+  min 255 (int_of_float (v +. noise))
+
+let instance ?(vg = false) ?(scale = 1.0) () =
+  let size = 32 in
+  let w = App.scaled scale 64 and h = App.scaled scale 64 in
+  {
+    App.name = "volrend";
+    workload = Printf.sprintf "%d^3 volume, %dx%d image%s" size w h
+        (if vg then ", vg 1024B maps" else "");
+    heap_bytes = ((size * size * size) + 512 + (w * h) + 4096) * 8 + (1 lsl 16);
+    setup =
+      (fun h_ ->
+        let volume = Dsm.alloc_floats h_ (size * size * size) in
+        let vaddr x y z = volume + (8 * ((((x * size) + y) * size) + z)) in
+        for z = 0 to size - 1 do
+          for y = 0 to size - 1 do
+            for x = 0 to size - 1 do
+              Dsm.poke_int h_ (vaddr x y z) (density size x y z)
+            done
+          done
+        done;
+        let maps =
+          Dsm.alloc_floats h_ ?block_size:(if vg then Some 1024 else None) 512
+        in
+        let opac_addr d = maps + (8 * d) in
+        let emis_addr d = maps + (8 * (256 + d)) in
+        let opac =
+          Array.init 256 (fun d ->
+              int_of_float (Float.min 0.5 (float_of_int d /. 400.0) *. table_scale))
+        in
+        let emis =
+          Array.init 256 (fun d ->
+              int_of_float (float_of_int d /. 255.0 *. table_scale))
+        in
+        Array.iteri (fun d v -> Dsm.poke_int h_ (opac_addr d) v) opac;
+        Array.iteri (fun d v -> Dsm.poke_int h_ (emis_addr d) v) emis;
+        let fb = Dsm.alloc_floats h_ (w * h) in
+        let tiles_x = (w + tile - 1) / tile and tiles_y = (h + tile - 1) / tile in
+        let tq = Task_queue.create h_ ~ntasks:(tiles_x * tiles_y) in
+        let bar = Dsm.alloc_barrier h_ in
+        let ref_vol =
+          {
+            size;
+            voxel = (fun x y z -> density size x y z);
+            opacity = (fun d -> opac.(d));
+            emission = (fun d -> emis.(d));
+            work = ignore;
+          }
+        in
+        let reference = Array.make (w * h) 0.0 in
+        for y = 0 to h - 1 do
+          for x = 0 to w - 1 do
+            reference.((y * w) + x) <- cast ref_vol ~w ~h x y
+          done
+        done;
+        let body ctx =
+          let v =
+            {
+              size;
+              voxel = (fun x y z -> Dsm.load_int ctx (vaddr x y z));
+              opacity = (fun d -> Dsm.load_int ctx (opac_addr d));
+              emission = (fun d -> Dsm.load_int ctx (emis_addr d));
+              work = (fun c -> Dsm.compute ctx c);
+            }
+          in
+          Task_queue.drain tq ctx (fun tidx ->
+              let ty = tidx / tiles_x and tx = tidx mod tiles_x in
+              for y = ty * tile to min h (ty * tile + tile) - 1 do
+                for x = tx * tile to min w (tx * tile + tile) - 1 do
+                  Dsm.store_float ctx (fb + (8 * ((y * w) + x))) (cast v ~w ~h x y)
+                done
+              done);
+          Dsm.barrier ctx bar
+        in
+        let verify h_ =
+          let worst = ref 0.0 in
+          for i = 0 to (w * h) - 1 do
+            let got = Dsm.peek_float h_ (fb + (8 * i)) in
+            worst := Float.max !worst (Float.abs (got -. reference.(i)))
+          done;
+          if !worst < 1e-9 then
+            App.pass ~detail:(Printf.sprintf "max pixel err %.2e" !worst)
+          else App.fail ~detail:(Printf.sprintf "max pixel err %.2e" !worst)
+        in
+        (body, verify));
+  }

@@ -1,0 +1,12 @@
+(** SPLASH-2 Volrend (simplified): ray-cast volume renderer.
+
+    A synthetic "head" volume (nested density shells) is rendered by
+    parallel-projection ray casting with front-to-back compositing and
+    early ray termination. The volume and the opacity/emission lookup
+    maps are read-shared; the variable-granularity hint allocates the
+    maps in 1024-byte blocks (Table 2). Most shared loads are integer
+    voxel fetches, which is why Volrend shows the smallest SMP-Shasta
+    checking-overhead increase in Table 1. Image tiles are distributed
+    through task queues with stealing. *)
+
+val instance : App.maker

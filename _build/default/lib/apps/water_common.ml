@@ -1,0 +1,55 @@
+let mol_bytes = 72
+let fields = 9
+let flop_cycles = 6
+let pair_flops = 40 * flop_cycles
+
+type mol = { px : float; py : float; pz : float }
+
+let wrap ~box d =
+  if d > box /. 2.0 then d -. box
+  else if d < -.box /. 2.0 then d +. box
+  else d
+
+let pair_force ~box ~cutoff a b =
+  let dx = wrap ~box (a.px -. b.px) in
+  let dy = wrap ~box (a.py -. b.py) in
+  let dz = wrap ~box (a.pz -. b.pz) in
+  let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+  if r2 >= cutoff *. cutoff || r2 = 0.0 then None
+  else
+    (* Soft Lennard-Jones-like kernel; the exact force law is irrelevant
+       to the sharing pattern, but it must be smooth and deterministic. *)
+    let inv2 = 1.0 /. (r2 +. 0.05) in
+    let inv6 = inv2 *. inv2 *. inv2 in
+    let mag = inv6 *. ((2.0 *. inv6) -. 1.0) *. inv2 in
+    Some (mag *. dx, mag *. dy, mag *. dz)
+
+let integrate ~dt ~box a n =
+  let wrap_pos p = if p < 0.0 then p +. box else if p >= box then p -. box else p in
+  for i = 0 to n - 1 do
+    let base = i * fields in
+    for d = 0 to 2 do
+      a.(base + 3 + d) <- a.(base + 3 + d) +. (a.(base + 6 + d) *. dt);
+      a.(base + d) <- wrap_pos (a.(base + d) +. (a.(base + 3 + d) *. dt));
+      a.(base + 6 + d) <- 0.0
+    done
+  done
+
+let init_molecules prng ~n ~box =
+  let a = Array.make (n * fields) 0.0 in
+  let side = int_of_float (Float.round (Float.cbrt (float_of_int n))) in
+  let side = max 1 side in
+  for i = 0 to n - 1 do
+    let base = i * fields in
+    let gx = i mod side
+    and gy = i / side mod side
+    and gz = i / (side * side) mod side in
+    let cell = box /. float_of_int side in
+    a.(base + 0) <- (float_of_int gx +. 0.5 +. (0.2 *. (Shasta_util.Prng.float prng 1.0 -. 0.5))) *. cell;
+    a.(base + 1) <- (float_of_int gy +. 0.5 +. (0.2 *. (Shasta_util.Prng.float prng 1.0 -. 0.5))) *. cell;
+    a.(base + 2) <- (float_of_int gz +. 0.5 +. (0.2 *. (Shasta_util.Prng.float prng 1.0 -. 0.5))) *. cell;
+    a.(base + 3) <- 0.05 *. (Shasta_util.Prng.float prng 1.0 -. 0.5);
+    a.(base + 4) <- 0.05 *. (Shasta_util.Prng.float prng 1.0 -. 0.5);
+    a.(base + 5) <- 0.05 *. (Shasta_util.Prng.float prng 1.0 -. 0.5)
+  done;
+  a

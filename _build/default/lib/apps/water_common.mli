@@ -1,0 +1,34 @@
+(** Shared machinery of the two Water kernels: molecule records,
+    a Lennard-Jones-style cutoff interaction, and leapfrog integration.
+
+    A molecule is 9 consecutive doubles in shared memory:
+    position (3), velocity (3), accumulated force (3). *)
+
+val mol_bytes : int
+(** 72: nine 8-byte fields. *)
+
+val fields : int
+(** 9. *)
+
+val flop_cycles : int
+
+type mol = { px : float; py : float; pz : float }
+
+val pair_force :
+  box:float -> cutoff:float -> mol -> mol -> (float * float * float) option
+(** Force exerted on the first molecule by the second under periodic
+    boundary conditions, [None] beyond the cutoff. *)
+
+val pair_flops : int
+(** Cycle charge for evaluating one pair (whether or not it is within
+    the cutoff — the distance computation dominates). *)
+
+val integrate :
+  dt:float -> box:float ->
+  float array -> int -> unit
+(** Reference-side leapfrog step over a plain array of molecule records
+    (index = molecule number, layout as in shared memory): v += f*dt,
+    p += v*dt wrapped into the box, force cleared. *)
+
+val init_molecules : Shasta_util.Prng.t -> n:int -> box:float -> float array
+(** Lattice-perturbed initial state (forces zero). *)

@@ -1,0 +1,12 @@
+(** SPLASH-2 Water-Nsquared (simplified): O(n²) cutoff molecular
+    dynamics.
+
+    Each processor owns a contiguous stripe of molecules and evaluates
+    each pair once (cyclic half-range rule), accumulating forces locally
+    and then folding them into the shared force fields under
+    per-molecule-group locks — the migratory-data pattern responsible
+    for Water's three-message downgrades in Figure 8. The
+    variable-granularity hint allocates the molecule array in 2048-byte
+    blocks (Table 2). *)
+
+val instance : App.maker

@@ -1,0 +1,276 @@
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module W = Water_common
+
+let cutoff = 2.2
+let dt = 0.004
+let steps = 2
+let cell_cap = 32
+
+let cells_for n = if n <= 300 then 4 else 5
+let box_for c = float_of_int c *. 2.2
+
+(* Cell lists are double-buffered: each step rebuilds the owner's lists
+   from the previous step's lists of the cell and its 26 neighbours (a
+   molecule can only migrate between adjacent cells in one step), which
+   is the incremental structure of the real Water-Spatial — a full
+   rescan of every molecule would serialize on reading all positions. *)
+
+let cell_of ~c ~box px py pz =
+  let idx v = min (c - 1) (int_of_float (v /. box *. float_of_int c)) in
+  (((idx pz * c) + idx py) * c) + idx px
+
+let neighbours ~c cidx =
+  let wrap d = ((d mod c) + c) mod c in
+  let cz = cidx / (c * c) and cy = cidx / c mod c and cx = cidx mod c in
+  let acc = ref [] in
+  for dz = -1 to 1 do
+    for dy = -1 to 1 do
+      for dx = -1 to 1 do
+        acc := ((((wrap (cz + dz) * c) + wrap (cy + dy)) * c) + wrap (cx + dx)) :: !acc
+      done
+    done
+  done;
+  List.rev !acc
+
+(* Sequential reference mirroring the parallel arithmetic order exactly. *)
+let reference_run mols n ~c ~box =
+  let f = W.fields in
+  let ncells = c * c * c in
+  let counts = Array.init 2 (fun _ -> Array.make ncells 0) in
+  let lists = Array.init 2 (fun _ -> Array.make_matrix ncells cell_cap 0) in
+  let mol_cell i = cell_of ~c ~box mols.(i * f) mols.((i * f) + 1) mols.((i * f) + 2) in
+  (* initial build, molecule-index order, into buffer 0 *)
+  for i = 0 to n - 1 do
+    let cidx = mol_cell i in
+    if counts.(0).(cidx) < cell_cap then begin
+      lists.(0).(cidx).(counts.(0).(cidx)) <- i;
+      counts.(0).(cidx) <- counts.(0).(cidx) + 1
+    end
+  done;
+  for s = 1 to steps do
+    let prev = (s - 1) mod 2 and cur = s mod 2 in
+    (* rebuild from candidates *)
+    for cidx = 0 to ncells - 1 do
+      counts.(cur).(cidx) <- 0;
+      List.iter
+        (fun nidx ->
+          for m = 0 to counts.(prev).(nidx) - 1 do
+            let i = lists.(prev).(nidx).(m) in
+            if mol_cell i = cidx && counts.(cur).(cidx) < cell_cap then begin
+              lists.(cur).(cidx).(counts.(cur).(cidx)) <- i;
+              counts.(cur).(cidx) <- counts.(cur).(cidx) + 1
+            end
+          done)
+        (neighbours ~c cidx)
+    done;
+    (* forces *)
+    for cidx = 0 to ncells - 1 do
+      for m = 0 to counts.(cur).(cidx) - 1 do
+        let i = lists.(cur).(cidx).(m) in
+        let mi = { W.px = mols.(i * f); py = mols.((i * f) + 1); pz = mols.((i * f) + 2) } in
+        List.iter
+          (fun nidx ->
+            for mm = 0 to counts.(cur).(nidx) - 1 do
+              let j = lists.(cur).(nidx).(mm) in
+              if j <> i then
+                let mj = { W.px = mols.(j * f); py = mols.((j * f) + 1); pz = mols.((j * f) + 2) } in
+                match W.pair_force ~box ~cutoff mi mj with
+                | None -> ()
+                | Some (fx, fy, fz) ->
+                  mols.((i * f) + 6) <- mols.((i * f) + 6) +. fx;
+                  mols.((i * f) + 7) <- mols.((i * f) + 7) +. fy;
+                  mols.((i * f) + 8) <- mols.((i * f) + 8) +. fz
+            done)
+          (neighbours ~c cidx)
+      done
+    done;
+    (* integrate, cell order (each molecule is in exactly one list) *)
+    for cidx = 0 to ncells - 1 do
+      for m = 0 to counts.(cur).(cidx) - 1 do
+        let i = lists.(cur).(cidx).(m) in
+        let wrap_pos q = if q < 0.0 then q +. box else if q >= box then q -. box else q in
+        for d = 0 to 2 do
+          mols.((i * f) + 3 + d) <-
+            mols.((i * f) + 3 + d) +. (mols.((i * f) + 6 + d) *. dt);
+          mols.((i * f) + d) <-
+            wrap_pos (mols.((i * f) + d) +. (mols.((i * f) + 3 + d) *. dt));
+          mols.((i * f) + 6 + d) <- 0.0
+        done
+      done
+    done
+  done
+
+let instance ?(vg = false) ?(scale = 1.0) () =
+  ignore vg;
+  (* Water-Sp has no Table-2 granularity hint. *)
+  let n = App.scaled scale 512 in
+  let c = cells_for n in
+  let box = box_for c in
+  let ncells = c * c * c in
+  let cell_bytes = (1 + cell_cap) * 8 in
+  {
+    App.name = "water-sp";
+    workload = Printf.sprintf "%d molecules, %d^3 cells, %d steps" n c steps;
+    heap_bytes = (n * W.mol_bytes) + (2 * ncells * cell_bytes) + (1 lsl 16);
+    setup =
+      (fun h ->
+        let prng = Shasta_util.Prng.create 101 in
+        let reference = W.init_molecules prng ~n ~box in
+        let mols = Dsm.alloc h (n * W.mol_bytes) in
+        let fld i k = mols + (W.mol_bytes * i) + (8 * k) in
+        let buffers = Array.init 2 (fun _ -> Dsm.alloc h (ncells * cell_bytes)) in
+        let cell_count buf cidx = buffers.(buf) + (cidx * cell_bytes) in
+        let cell_slot buf cidx s = buffers.(buf) + (cidx * cell_bytes) + (8 * (1 + s)) in
+        let np = (Dsm.config h).Config.nprocs in
+        (* Cells partitioned linearly and homed at their owners. *)
+        let cell_lo p = p * ncells / np and cell_hi p = (p + 1) * ncells / np in
+        for buf = 0 to 1 do
+          for p = 0 to np - 1 do
+            if cell_hi p > cell_lo p then
+              Dsm.place h
+                ~addr:(cell_count buf (cell_lo p))
+                ~len:((cell_hi p - cell_lo p) * cell_bytes)
+                ~proc:p
+          done
+        done;
+        for i = 0 to n - 1 do
+          for k = 0 to W.fields - 1 do
+            Dsm.poke_float h (fld i k) reference.((i * W.fields) + k)
+          done
+        done;
+        (* Pre-built initial lists in buffer 0, molecule-index order. *)
+        let init_counts = Array.make ncells 0 in
+        for i = 0 to n - 1 do
+          let cidx =
+            cell_of ~c ~box
+              reference.(i * W.fields)
+              reference.((i * W.fields) + 1)
+              reference.((i * W.fields) + 2)
+          in
+          if init_counts.(cidx) < cell_cap then begin
+            Dsm.poke_int h (cell_slot 0 cidx init_counts.(cidx)) i;
+            init_counts.(cidx) <- init_counts.(cidx) + 1
+          end
+        done;
+        Array.iteri (fun cidx cnt -> Dsm.poke_int h (cell_count 0 cidx) cnt) init_counts;
+        let bar = Dsm.alloc_barrier h in
+        let body ctx =
+          let p = Dsm.pid ctx in
+          let lo = cell_lo p and hi = cell_hi p in
+          let mol_cell i =
+            let coord d = Dsm.load_float ctx (fld i d) in
+            let r = cell_of ~c ~box (coord 0) (coord 1) (coord 2) in
+            Dsm.compute ctx (6 * W.flop_cycles);
+            r
+          in
+          for s = 1 to steps do
+            let prev = (s - 1) mod 2 and cur = s mod 2 in
+            (* Rebuild own cells from the previous lists of the 3x3x3
+               neighbourhood. *)
+            for cidx = lo to hi - 1 do
+              Dsm.store_int ctx (cell_count cur cidx) 0;
+              List.iter
+                (fun nidx ->
+                  let ncnt = Dsm.load_int ctx (cell_count prev nidx) in
+                  for m = 0 to ncnt - 1 do
+                    let i = Dsm.load_int ctx (cell_slot prev nidx m) in
+                    if mol_cell i = cidx then begin
+                      let cnt = Dsm.load_int ctx (cell_count cur cidx) in
+                      if cnt < cell_cap then begin
+                        Dsm.store_int ctx (cell_slot cur cidx cnt) i;
+                        Dsm.store_int ctx (cell_count cur cidx) (cnt + 1)
+                      end
+                    end
+                  done)
+                (neighbours ~c cidx)
+            done;
+            Dsm.barrier ctx bar;
+            (* Forces for molecules in own cells. *)
+            for cidx = lo to hi - 1 do
+              let cnt = Dsm.load_int ctx (cell_count cur cidx) in
+              for m = 0 to cnt - 1 do
+                let i = Dsm.load_int ctx (cell_slot cur cidx m) in
+                let mi =
+                  {
+                    W.px = Dsm.load_float ctx (fld i 0);
+                    py = Dsm.load_float ctx (fld i 1);
+                    pz = Dsm.load_float ctx (fld i 2);
+                  }
+                in
+                let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
+                List.iter
+                  (fun nidx ->
+                    let ncnt = Dsm.load_int ctx (cell_count cur nidx) in
+                    for mm = 0 to ncnt - 1 do
+                      let j = Dsm.load_int ctx (cell_slot cur nidx mm) in
+                      if j <> i then begin
+                        let mj =
+                          {
+                            W.px = Dsm.load_float ctx (fld j 0);
+                            py = Dsm.load_float ctx (fld j 1);
+                            pz = Dsm.load_float ctx (fld j 2);
+                          }
+                        in
+                        Dsm.compute ctx W.pair_flops;
+                        match W.pair_force ~box ~cutoff mi mj with
+                        | None -> ()
+                        | Some (gx, gy, gz) ->
+                          fx := !fx +. gx;
+                          fy := !fy +. gy;
+                          fz := !fz +. gz
+                      end
+                    done)
+                  (neighbours ~c cidx);
+                Dsm.store_float ctx (fld i 6) (Dsm.load_float ctx (fld i 6) +. !fx);
+                Dsm.store_float ctx (fld i 7) (Dsm.load_float ctx (fld i 7) +. !fy);
+                Dsm.store_float ctx (fld i 8) (Dsm.load_float ctx (fld i 8) +. !fz)
+              done
+            done;
+            Dsm.barrier ctx bar;
+            (* Integrate molecules in own cells. *)
+            for cidx = lo to hi - 1 do
+              let cnt = Dsm.load_int ctx (cell_count cur cidx) in
+              for m = 0 to cnt - 1 do
+                let i = Dsm.load_int ctx (cell_slot cur cidx m) in
+                Dsm.batch ctx
+                  [ (fld i 0, W.mol_bytes, Dsm.W) ]
+                  (fun () ->
+                    let wrap_pos q =
+                      if q < 0.0 then q +. box
+                      else if q >= box then q -. box
+                      else q
+                    in
+                    for d = 0 to 2 do
+                      let v =
+                        Dsm.Batch.load_float ctx (fld i (3 + d))
+                        +. (Dsm.Batch.load_float ctx (fld i (6 + d)) *. dt)
+                      in
+                      Dsm.Batch.store_float ctx (fld i (3 + d)) v;
+                      Dsm.Batch.store_float ctx (fld i d)
+                        (wrap_pos
+                           (Dsm.Batch.load_float ctx (fld i d) +. (v *. dt)));
+                      Dsm.Batch.store_float ctx (fld i (6 + d)) 0.0;
+                      Dsm.compute ctx (4 * W.flop_cycles)
+                    done)
+              done
+            done;
+            Dsm.barrier ctx bar
+          done
+        in
+        reference_run reference n ~c ~box;
+        let verify h =
+          let worst = ref 0.0 in
+          for i = 0 to n - 1 do
+            for d = 0 to 2 do
+              let got = Dsm.peek_float h (fld i d) in
+              let want = reference.((i * W.fields) + d) in
+              worst := Float.max !worst (Float.abs (got -. want))
+            done
+          done;
+          if !worst < 1e-6 then
+            App.pass ~detail:(Printf.sprintf "max pos err %.2e" !worst)
+          else App.fail ~detail:(Printf.sprintf "max pos err %.2e" !worst)
+        in
+        (body, verify));
+  }

@@ -1,0 +1,11 @@
+(** SPLASH-2 Water-Spatial (simplified): cutoff molecular dynamics with
+    a 3-D cell decomposition.
+
+    Cells (with their occupancy lists) are partitioned among processors
+    and homed at their owners; each step rebuilds the owner's cell lists,
+    evaluates forces against the 27 neighbouring cells, and integrates
+    the molecules currently in the owner's cells. Molecules migrate
+    between cells — and hence between owning processors — over time,
+    which is the source of Water's migratory downgrade behaviour. *)
+
+val instance : App.maker

@@ -1,0 +1,1 @@
+lib/core/config.ml: List Shasta_net Timing

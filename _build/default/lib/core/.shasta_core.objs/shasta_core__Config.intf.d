@@ -1,0 +1,1 @@
+lib/core/config.mli: Shasta_net Timing

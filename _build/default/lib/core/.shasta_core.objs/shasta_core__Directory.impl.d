@@ -1,0 +1,1 @@
+lib/core/directory.ml: Hashtbl List Msg Shasta_util

@@ -1,0 +1,1 @@
+lib/core/directory.mli: Msg Shasta_util

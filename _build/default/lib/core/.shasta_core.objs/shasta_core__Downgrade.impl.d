@@ -1,0 +1,1 @@
+lib/core/downgrade.ml: Hashtbl List Msg Shasta_mem

@@ -1,0 +1,1 @@
+lib/core/downgrade.mli: Msg Shasta_mem

@@ -1,0 +1,1 @@
+lib/core/dsm.ml: Array Config Fun Int64 List Machine Protocol Shasta_mem Shasta_net Shasta_sim Stats Timing

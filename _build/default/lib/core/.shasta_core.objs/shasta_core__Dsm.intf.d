@@ -1,0 +1,1 @@
+lib/core/dsm.mli: Config Machine Shasta_util Stats

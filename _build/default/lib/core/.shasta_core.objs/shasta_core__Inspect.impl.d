@@ -1,0 +1,1 @@
+lib/core/inspect.ml: Array Config Directory Downgrade Format Hashtbl List Machine Miss_table Msg Printf Shasta_mem Shasta_net Shasta_util Stats String

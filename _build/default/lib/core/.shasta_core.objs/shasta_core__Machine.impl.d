@@ -1,0 +1,1 @@
+lib/core/machine.ml: Array Bytes Config Directory Downgrade Hashtbl Miss_table Msg Shasta_mem Shasta_net Shasta_sim Shasta_util Stats

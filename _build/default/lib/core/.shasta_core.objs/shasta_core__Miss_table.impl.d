@@ -1,0 +1,1 @@
+lib/core/miss_table.ml: Hashtbl Msg Shasta_util

@@ -1,0 +1,1 @@
+lib/core/miss_table.mli: Msg Shasta_util

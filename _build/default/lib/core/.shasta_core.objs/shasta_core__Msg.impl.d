@@ -1,0 +1,1 @@
+lib/core/msg.ml: Bytes Shasta_mem

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Bytes Config Directory Downgrade Fun Hashtbl List Machine Miss_table Msg Option Printf Shasta_mem Shasta_net Shasta_sim Shasta_util Stats String Sys Timing

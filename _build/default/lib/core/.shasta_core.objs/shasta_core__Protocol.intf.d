@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Machine Shasta_mem Shasta_sim Stats Timing

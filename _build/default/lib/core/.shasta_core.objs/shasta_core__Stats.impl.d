@@ -1,0 +1,1 @@
+lib/core/stats.ml: Array List Msg Shasta_util Timing

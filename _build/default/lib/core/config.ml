@@ -1,0 +1,56 @@
+type variant = Base | Smp
+
+type t = {
+  variant : variant;
+  nprocs : int;
+  procs_per_node : int;
+  clustering : int;
+  line_size : int;
+  heap_bytes : int;
+  checks_enabled : bool;
+  timing : Timing.t;
+  link : Shasta_net.Link.t;
+  max_cycles : int;
+  seed : int;
+  smp_sync : bool;
+  share_directory : bool;
+}
+
+let create ?(variant = Base) ?(nprocs = 1) ?(procs_per_node = 4)
+    ?(clustering = 1) ?(line_size = 64) ?(heap_bytes = 8 * 1024 * 1024)
+    ?(checks_enabled = true) ?(timing = Timing.default)
+    ?(link = Shasta_net.Link.default) ?(max_cycles = 2_000_000_000)
+    ?(seed = 42) ?(smp_sync = false) ?(share_directory = false) () =
+  if nprocs <= 0 then invalid_arg "Config.create: nprocs";
+  if procs_per_node <= 0 then invalid_arg "Config.create: procs_per_node";
+  if clustering <= 0 then invalid_arg "Config.create: clustering";
+  (match variant with
+  | Base ->
+    if clustering <> 1 then
+      invalid_arg "Config.create: Base-Shasta requires clustering = 1"
+  | Smp ->
+    if procs_per_node mod clustering <> 0 then
+      invalid_arg "Config.create: clustering must divide procs_per_node");
+  {
+    variant;
+    nprocs;
+    procs_per_node;
+    clustering;
+    line_size;
+    heap_bytes;
+    checks_enabled;
+    timing;
+    link;
+    max_cycles;
+    seed;
+    smp_sync;
+    share_directory;
+  }
+
+let nnodes t = (t.nprocs + t.clustering - 1) / t.clustering
+let node_of_proc t p = p / t.clustering
+
+let procs_of_node t n =
+  let lo = n * t.clustering in
+  let hi = min t.nprocs (lo + t.clustering) - 1 in
+  List.init (hi - lo + 1) (fun i -> lo + i)

@@ -1,0 +1,60 @@
+(** Machine configuration for a simulated run. *)
+
+type variant =
+  | Base  (** Base-Shasta: message passing between all processors *)
+  | Smp  (** SMP-Shasta: memory shared within each clustering group *)
+
+type t = private {
+  variant : variant;
+  nprocs : int;
+  procs_per_node : int;  (** physical SMP size (message latency domain) *)
+  clustering : int;
+      (** logical sharing-domain size; 1 for Base, divides
+          [procs_per_node] for Smp so a sharing domain never spans
+          physical nodes *)
+  line_size : int;
+  heap_bytes : int;
+  checks_enabled : bool;
+      (** disable to measure the original sequential execution time *)
+  timing : Timing.t;
+  link : Shasta_net.Link.t;
+  max_cycles : int;
+  seed : int;  (** workload seed, so runs are reproducible *)
+  smp_sync : bool;
+      (** 5 extension: hierarchical barriers that combine arrivals in
+          each node's shared memory and send one message per node *)
+  share_directory : bool;
+      (** 5 extension: a requester colocated with the home's node
+          accesses the directory directly, eliminating the intra-node
+          request/reply messages *)
+}
+
+val create :
+  ?variant:variant ->
+  ?nprocs:int ->
+  ?procs_per_node:int ->
+  ?clustering:int ->
+  ?line_size:int ->
+  ?heap_bytes:int ->
+  ?checks_enabled:bool ->
+  ?timing:Timing.t ->
+  ?link:Shasta_net.Link.t ->
+  ?max_cycles:int ->
+  ?seed:int ->
+  ?smp_sync:bool ->
+  ?share_directory:bool ->
+  unit ->
+  t
+(** Defaults: [Base], 1 processor, 4 per node, clustering 1, 64-byte
+    lines, 8 MiB heap, checks enabled. Raises [Invalid_argument] on
+    inconsistent combinations (Base with clustering > 1, clustering not
+    dividing the node size, non-positive sizes). *)
+
+val nnodes : t -> int
+(** Number of coherence nodes (sharing domains). *)
+
+val node_of_proc : t -> int -> int
+(** Coherence node of a processor. *)
+
+val procs_of_node : t -> int -> int list
+(** Processors of a coherence node, ascending. *)

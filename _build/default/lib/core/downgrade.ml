@@ -1,0 +1,32 @@
+type deferred =
+  | Reply_read of { requester : int }
+  | Reply_readex of { requester : int; inval_acks : int }
+  | Inval_done of { requester : int }
+
+type entry = {
+  block : int;
+  target : Shasta_mem.State_table.base;
+  deferred : deferred;
+  mutable remaining : int;
+  mutable queued : (int * Msg.t) list;
+}
+
+type t = (int, entry) Hashtbl.t
+
+let create () = Hashtbl.create 16
+let find t ~block = Hashtbl.find_opt t block
+
+let add t ~block ~target ~deferred ~remaining =
+  assert (not (Hashtbl.mem t block));
+  let e = { block; target; deferred; remaining; queued = [] } in
+  Hashtbl.replace t block e;
+  e
+
+let remove t e = Hashtbl.remove t e.block
+let count t = Hashtbl.length t
+let push_queued e ~src m = e.queued <- (src, m) :: e.queued
+
+let take_queued e =
+  let q = List.rev e.queued in
+  e.queued <- [];
+  q

@@ -1,0 +1,45 @@
+(** Per-node table of downgrades in progress (§3.4.3).
+
+    When servicing an incoming request requires downgrading the node's
+    copy of a block, the handling processor sends downgrade messages to
+    exactly the sibling processors whose private state tables show they
+    have accessed the block, records the deferred protocol action here,
+    and returns. The processor that handles the last downgrade message
+    executes the deferred action. Requests arriving for a block in
+    pending-downgrade state are queued on the entry. *)
+
+type deferred =
+  | Reply_read of { requester : int }
+      (** exclusive→shared: snapshot the block and send a read reply *)
+  | Reply_readex of { requester : int; inval_acks : int }
+      (** →invalid: snapshot, send an exclusive data reply, stamp the
+          invalid flag *)
+  | Inval_done of { requester : int }
+      (** →invalid: stamp the flag and acknowledge the invalidation *)
+
+type entry = {
+  block : int;
+  target : Shasta_mem.State_table.base;
+  deferred : deferred;
+  mutable remaining : int;
+  mutable queued : (int * Msg.t) list;  (** newest first *)
+}
+
+type t
+
+val create : unit -> t
+val find : t -> block:int -> entry option
+
+val add :
+  t ->
+  block:int ->
+  target:Shasta_mem.State_table.base ->
+  deferred:deferred ->
+  remaining:int ->
+  entry
+
+val remove : t -> entry -> unit
+val count : t -> int
+val push_queued : entry -> src:int -> Msg.t -> unit
+val take_queued : entry -> (int * Msg.t) list
+(** Queued requests in arrival order; the entry's queue is cleared. *)

@@ -1,0 +1,202 @@
+module Engine = Shasta_sim.Engine
+module Image = Shasta_mem.Image
+module State_table = Shasta_mem.State_table
+module Layout = Shasta_mem.Layout
+module Network = Shasta_net.Network
+
+type handle = { m : Machine.t; mutable ran : bool }
+
+let create cfg = { m = Machine.create cfg; ran = false }
+let config h = h.m.Machine.cfg
+let machine h = h.m
+
+let alloc h ?block_size ?home size = Machine.alloc h.m ?block_size ?home size
+
+let alloc_floats h ?block_size ?home n =
+  Machine.alloc h.m ?block_size ?home (8 * n)
+
+let place h ~addr ~len ~proc = Machine.place h.m ~addr ~len ~proc
+let alloc_lock h = Machine.alloc_lock h.m
+let alloc_barrier h = Machine.alloc_barrier h.m
+
+let home_image h addr =
+  let block = Machine.block_base h.m addr in
+  let home = Machine.home_of_block h.m block in
+  h.m.Machine.nodes.(Machine.node_of h.m home).Machine.image
+
+let poke_float h addr v = Image.store_float (home_image h addr) addr v
+let poke_int h addr v = Image.store_int (home_image h addr) addr v
+
+(* Scan for a valid copy, preferring an exclusive one. *)
+let peek_image h addr =
+  let line = Layout.line_of h.m.Machine.layout addr in
+  let best = ref None in
+  Array.iter
+    (fun ns ->
+      match State_table.get ns.Machine.table line with
+      | State_table.Exclusive -> best := Some ns.Machine.image
+      | State_table.Shared ->
+        if !best = None then best := Some ns.Machine.image
+      | State_table.Invalid -> ())
+    h.m.Machine.nodes;
+  match !best with
+  | Some img -> img
+  | None -> invalid_arg "Dsm.peek: no valid copy"
+
+let peek_float h addr = Image.load_float (peek_image h addr) addr
+let peek_int h addr = Image.load_int (peek_image h addr) addr
+
+type ctx = { p : Protocol.ctx; mutable in_batch : bool }
+
+let pid ctx = Protocol.pid ctx.p
+let nprocs ctx = (Protocol.machine ctx.p).Machine.cfg.Config.nprocs
+let prng ctx = (Protocol.proc_state ctx.p).Machine.prng
+
+(* Inline-check costs vanish when checks are disabled (the "original
+   sequential code" baseline of Table 1). *)
+let ccost ctx c =
+  if (Protocol.machine ctx.p).Machine.cfg.Config.checks_enabled then c else 0
+
+let run h body =
+  assert (not h.ran);
+  h.ran <- true;
+  let cfg = h.m.Machine.cfg in
+  ignore
+    (Engine.run ~nprocs:cfg.Config.nprocs ~max_cycles:cfg.Config.max_cycles
+       (fun eng ->
+         let p = Protocol.make_ctx h.m eng in
+         let ctx = { p; in_batch = false } in
+         body ctx;
+         Protocol.drain p))
+
+let now ctx = Engine.now (Protocol.engine_proc ctx.p)
+
+let compute ctx n =
+  Protocol.charge ctx.p n;
+  if not ctx.in_batch then Protocol.op_tick ctx.p
+
+let check_addr ctx addr =
+  let layout = (Protocol.machine ctx.p).Machine.layout in
+  assert (Layout.valid_addr layout addr && addr land 7 = 0)
+
+(* Flag-based load check: the loaded value doubles as the state check.
+   Equality with the flag pattern sends us into the miss handler, which
+   distinguishes real misses from false misses. *)
+let load64 ctx ~float_load addr =
+  check_addr ctx addr;
+  assert (not ctx.in_batch);
+  Protocol.op_tick ctx.p;
+  let t = Protocol.timing ctx.p in
+  let cost =
+    if not float_load then t.Timing.load_check_flag
+    else if Protocol.is_smp ctx.p then t.Timing.load_check_flag_float_smp
+    else t.Timing.load_check_flag_float_base
+  in
+  Protocol.charge ctx.p (ccost ctx cost);
+  (Protocol.proc_state ctx.p).Machine.stats.Stats.checks <-
+    (Protocol.proc_state ctx.p).Machine.stats.Stats.checks + 1;
+  let image = Protocol.node_image ctx.p in
+  let rec go () =
+    let v = Image.load64 image addr in
+    if not (Image.is_flag64 v) then v
+    else
+      match Protocol.load_miss ctx.p ~addr with
+      | `Valid -> Image.load64 image addr
+      | `Retry ->
+        Protocol.charge ctx.p (ccost ctx t.Timing.load_check_flag);
+        go ()
+  in
+  go ()
+
+let store64 ctx addr v =
+  check_addr ctx addr;
+  assert (not ctx.in_batch);
+  Protocol.op_tick ctx.p;
+  let t = Protocol.timing ctx.p in
+  Protocol.charge ctx.p (ccost ctx t.Timing.store_check);
+  (Protocol.proc_state ctx.p).Machine.stats.Stats.checks <-
+    (Protocol.proc_state ctx.p).Machine.stats.Stats.checks + 1;
+  let table = Protocol.check_table ctx.p in
+  let layout = (Protocol.machine ctx.p).Machine.layout in
+  let line = Layout.line_of layout addr in
+  if State_table.get table line = State_table.Exclusive then
+    Image.store64 (Protocol.node_image ctx.p) addr v
+  else
+    Protocol.store_miss ctx.p ~addr ~len:8 (fun img -> Image.store64 img addr v)
+
+let load_float ctx addr = Int64.float_of_bits (load64 ctx ~float_load:true addr)
+let store_float ctx addr v = store64 ctx addr (Int64.bits_of_float v)
+let load_int ctx addr = Int64.to_int (load64 ctx ~float_load:false addr)
+let store_int ctx addr v = store64 ctx addr (Int64.of_int v)
+
+type access = R | W
+
+let batch ctx ranges f =
+  assert (not ctx.in_batch);
+  Protocol.op_tick ctx.p;
+  let ranges =
+    List.map
+      (fun (addr, len, a) ->
+        check_addr ctx addr;
+        ( addr,
+          len,
+          match a with R -> State_table.Shared | W -> State_table.Exclusive ))
+      ranges
+  in
+  let token = Protocol.batch_begin ctx.p ranges in
+  ctx.in_batch <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      ctx.in_batch <- false;
+      Protocol.batch_end ctx.p token)
+    f
+
+module Batch = struct
+  let raw_cost = 1
+
+  let load_float ctx addr =
+    assert (ctx.in_batch);
+    Protocol.charge ctx.p raw_cost;
+    Image.load_float (Protocol.node_image ctx.p) addr
+
+  let store_float ctx addr v =
+    assert (ctx.in_batch);
+    Protocol.charge ctx.p raw_cost;
+    Image.store_float (Protocol.node_image ctx.p) addr v
+
+  let load_int ctx addr =
+    assert (ctx.in_batch);
+    Protocol.charge ctx.p raw_cost;
+    Image.load_int (Protocol.node_image ctx.p) addr
+
+  let store_int ctx addr v =
+    assert (ctx.in_batch);
+    Protocol.charge ctx.p raw_cost;
+    Image.store_int (Protocol.node_image ctx.p) addr v
+end
+
+let lock ctx l =
+  assert (not ctx.in_batch);
+  Protocol.lock_acquire ctx.p l
+
+let unlock ctx l =
+  assert (not ctx.in_batch);
+  Protocol.lock_release ctx.p l
+
+let barrier ctx b =
+  assert (not ctx.in_batch);
+  Protocol.barrier_wait ctx.p b
+
+let parallel_cycles h = Machine.parallel_cycles h.m
+
+let proc_stats h = Array.map (fun p -> p.Machine.stats) h.m.Machine.procs
+
+let aggregate_stats h = Stats.aggregate (Array.to_list (proc_stats h))
+
+let downgrade_messages h =
+  Array.fold_left
+    (fun acc p -> acc + p.Machine.stats.Stats.downgrades_sent)
+    0 h.m.Machine.procs
+
+let messages_local h = Network.sent_local h.m.Machine.net
+let messages_remote h = Network.sent_remote h.m.Machine.net

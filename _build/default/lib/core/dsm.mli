@@ -1,0 +1,113 @@
+(** Public API of the simulated Shasta distributed shared memory.
+
+    Usage is in two phases. In the {e setup phase}, create a machine from
+    a {!Config.t} and allocate shared data, locks and barriers. In the
+    {e parallel phase}, {!run} executes one body per simulated processor;
+    the body accesses shared memory through the checked [load]/[store]
+    operations (each of which performs the inline access-control check of
+    the real system, charging its cycle cost, and drops into the
+    coherence protocol on a miss), synchronizes with locks and barriers,
+    and models local computation with {!compute}.
+
+    All values live in the simulated shared heap as 8-byte cells (floats
+    or 63-bit integers); addresses are byte offsets and must be 8-byte
+    aligned. *)
+
+type handle
+(** A configured machine (setup phase + post-run inspection). *)
+
+val create : Config.t -> handle
+val config : handle -> Config.t
+val machine : handle -> Machine.t
+
+(** {1 Setup phase} *)
+
+val alloc : handle -> ?block_size:int -> ?home:int -> int -> int
+(** Allocate bytes of shared memory; see {!Machine.alloc}. *)
+
+val alloc_floats : handle -> ?block_size:int -> ?home:int -> int -> int
+(** Allocate an array of [n] 8-byte cells; element [i] lives at
+    [base + 8*i]. *)
+
+val place : handle -> addr:int -> len:int -> proc:int -> unit
+(** Home-placement optimization; see {!Machine.place}. *)
+
+val alloc_lock : handle -> int
+val alloc_barrier : handle -> int
+
+val poke_float : handle -> int -> float -> unit
+(** Setup phase: write an initial value directly into the home node's
+    copy (data is born initialized at its home, so the parallel phase
+    starts with the cold-miss behaviour of the real system). *)
+
+val poke_int : handle -> int -> int -> unit
+
+(** {1 Parallel phase} *)
+
+type ctx
+
+val run : handle -> (ctx -> unit) -> unit
+(** Execute the body on every simulated processor and drain the
+    protocol. May be called once per handle. *)
+
+val pid : ctx -> int
+val nprocs : ctx -> int
+val prng : ctx -> Shasta_util.Prng.t
+(** Per-processor deterministic random stream. *)
+
+val now : ctx -> int
+(** This processor's current virtual cycle clock. *)
+
+val compute : ctx -> int -> unit
+(** Model [n] cycles of local computation (includes a loop-backedge poll
+    at the configured interval). *)
+
+val load_float : ctx -> int -> float
+val store_float : ctx -> int -> float -> unit
+
+val load_int : ctx -> int -> int
+val store_int : ctx -> int -> int -> unit
+
+(** {1 Batched access (§3.4.4)}
+
+    [batch ctx ranges f] performs one combined check for all the (addr,
+    len, access) ranges, then runs [f], inside which the [Batch] raw
+    operations may touch exactly those ranges without further checks. *)
+
+type access = R | W
+
+val batch : ctx -> (int * int * access) list -> (unit -> 'a) -> 'a
+
+module Batch : sig
+  val load_float : ctx -> int -> float
+  val store_float : ctx -> int -> float -> unit
+  val load_int : ctx -> int -> int
+  val store_int : ctx -> int -> int -> unit
+end
+
+(** {1 Synchronization} *)
+
+val lock : ctx -> int -> unit
+val unlock : ctx -> int -> unit
+val barrier : ctx -> int -> unit
+
+(** {1 Post-run results} *)
+
+val parallel_cycles : handle -> int
+(** Wall-clock of the parallel phase: max over processors of the cycle
+    count when the body returned. *)
+
+val proc_stats : handle -> Stats.t array
+val aggregate_stats : handle -> Stats.t
+
+val peek_float : handle -> int -> float
+(** Post-run: read a value from a currently valid copy (owner-preferred)
+    without going through any protocol — for result verification. *)
+
+val peek_int : handle -> int -> int
+
+val messages_local : handle -> int
+(** Intra-node protocol messages sent, including downgrades. *)
+
+val messages_remote : handle -> int
+val downgrade_messages : handle -> int

@@ -1,0 +1,190 @@
+module Layout = Shasta_mem.Layout
+module Image = Shasta_mem.Image
+module State_table = Shasta_mem.State_table
+module Network = Shasta_net.Network
+
+let state_rank = function
+  | State_table.Invalid -> 0
+  | State_table.Shared -> 1
+  | State_table.Exclusive -> 2
+
+let iter_allocated_blocks (m : Machine.t) f =
+  let used = Shasta_mem.Alloc.used_bytes m.Machine.heap in
+  let pos = ref 0 in
+  while !pos < used do
+    f !pos;
+    pos := !pos + Machine.block_size m !pos
+  done
+
+let block_in_batch (m : Machine.t) ns block =
+  let layout = m.Machine.layout in
+  let first = Layout.line_of layout block in
+  let n = Machine.block_size m block / layout.Layout.line_size in
+  let hit = ref false in
+  for l = first to first + n - 1 do
+    if Hashtbl.mem ns.Machine.batch_lines l then hit := true
+  done;
+  !hit
+
+let check_invariants (m : Machine.t) =
+  let bad = ref [] in
+  let layout = m.Machine.layout in
+  let quiescent = Machine.quiescent m in
+  iter_allocated_blocks m (fun block ->
+      let line = Layout.line_of layout block in
+      let exclusive = ref 0 and valid = ref 0 in
+      Array.iteri
+        (fun n ns ->
+          (match State_table.get ns.Machine.table line with
+          | State_table.Exclusive ->
+            incr exclusive;
+            incr valid
+          | State_table.Shared -> incr valid
+          | State_table.Invalid -> ());
+          if quiescent then begin
+            if State_table.pending ns.Machine.table line then
+              bad :=
+                Printf.sprintf "block %#x: node %d pending while quiescent" block n
+                :: !bad;
+            if State_table.pending_downgrade ns.Machine.table line then
+              bad :=
+                Printf.sprintf
+                  "block %#x: node %d pending-downgrade while quiescent" block n
+                :: !bad
+          end;
+          (* Invalid and settled => flag pattern everywhere. *)
+          if
+            quiescent
+            && State_table.get ns.Machine.table line = State_table.Invalid
+            && (not (Hashtbl.mem ns.Machine.deferred_flags block))
+            && not (block_in_batch m ns block)
+          then begin
+            let size = Machine.block_size m block in
+            let words = size / 8 in
+            let clean = ref true in
+            for w = 0 to words - 1 do
+              if not (Image.is_flag64 (Image.load64 ns.Machine.image (block + (8 * w))))
+              then clean := false
+            done;
+            if not !clean then
+              bad :=
+                Printf.sprintf "block %#x: node %d invalid without flag pattern"
+                  block n
+                :: !bad
+          end)
+        m.Machine.nodes;
+      if !exclusive > 1 then
+        bad := Printf.sprintf "block %#x: %d exclusive nodes" block !exclusive :: !bad;
+      if !exclusive = 1 && !valid > 1 then
+        bad :=
+          Printf.sprintf "block %#x: exclusive node coexists with sharers" block
+          :: !bad;
+      if !valid = 0 then
+        bad := Printf.sprintf "block %#x: no valid copy anywhere" block :: !bad;
+      (* Private entries never exceed the node's shared entry, except
+         transiently under an active batch. *)
+      Array.iteri
+        (fun p priv ->
+          let node = Machine.node_of m p in
+          let ns = m.Machine.nodes.(node) in
+          if
+            (not (block_in_batch m ns block))
+            && state_rank (State_table.get priv line)
+               > state_rank (State_table.get ns.Machine.table line)
+          then
+            bad :=
+              Printf.sprintf
+                "block %#x: proc %d private overstates node %d shared state"
+                block p node
+              :: !bad)
+        m.Machine.privates)
+  ;
+  List.rev !bad
+
+let assert_invariants m =
+  match check_invariants m with
+  | [] -> ()
+  | violations ->
+    failwith ("Inspect.assert_invariants:\n  " ^ String.concat "\n  " violations)
+
+let pp_base = State_table.pp_base
+
+let dump ?block ppf (m : Machine.t) =
+  let open Format in
+  fprintf ppf "=== machine: %d procs, clustering %d ===@."
+    m.Machine.cfg.Config.nprocs m.Machine.cfg.Config.clustering;
+  Array.iteri
+    (fun i (ps : Machine.proc_state) ->
+      fprintf ppf "proc %2d: node %d, %s, category %s, outstanding stores %d@." i
+        ps.Machine.node
+        (if ps.Machine.finished then "finished" else "running")
+        (Stats.category_name ps.Machine.category)
+        ps.Machine.outstanding_stores)
+    m.Machine.procs;
+  Array.iteri
+    (fun n (ns : Machine.node_state) ->
+      List.iter
+        (fun id ->
+          match Miss_table.find_id ns.Machine.misses id with
+          | Some e ->
+            fprintf ppf
+              "node %d miss: block %#x kind %s ready=%b acks %d/%d ranges %d@." n
+              e.Miss_table.block
+              (match e.Miss_table.kind with
+              | Msg.Read -> "read"
+              | Msg.Readex -> "readex"
+              | Msg.Upgrade -> "upgrade")
+              e.Miss_table.data_ready e.Miss_table.acks_received
+              e.Miss_table.acks_expected
+              (List.length e.Miss_table.store_ranges)
+          | None -> ())
+        (Miss_table.outstanding_ids ns.Machine.misses);
+      if Downgrade.count ns.Machine.downgrades > 0 then
+        fprintf ppf "node %d: %d downgrades in progress@." n
+          (Downgrade.count ns.Machine.downgrades);
+      if Hashtbl.length ns.Machine.deferred_flags > 0 then
+        fprintf ppf "node %d: %d deferred flag writes@." n
+          (Hashtbl.length ns.Machine.deferred_flags))
+    m.Machine.nodes;
+  Array.iteri
+    (fun p d ->
+      Directory.iter
+        (fun b e ->
+          if e.Directory.busy || e.Directory.queue <> [] then
+            fprintf ppf "dir@%d block %#x: busy=%b owner=%d sharers=%a queue=%d@." p
+              b e.Directory.busy e.Directory.owner Shasta_util.Bitset.pp
+              e.Directory.sharers
+              (List.length e.Directory.queue))
+        d)
+    m.Machine.dirs;
+  Hashtbl.iter
+    (fun id (ls : Machine.lock_state) ->
+      if ls.Machine.held || ls.Machine.lock_queue <> [] then
+        fprintf ppf "lock %d: holder %d, %d queued@." id ls.Machine.holder
+          (List.length ls.Machine.lock_queue))
+    m.Machine.locks;
+  Hashtbl.iter
+    (fun id (bs : Machine.barrier_state) ->
+      fprintf ppf "barrier %d: arrived %d, generation %d@." id bs.Machine.arrived
+        bs.Machine.generation)
+    m.Machine.barriers;
+  for p = 0 to m.Machine.cfg.Config.nprocs - 1 do
+    let q = Network.queued m.Machine.net ~dst:p in
+    if q > 0 then fprintf ppf "net: %d messages queued for proc %d@." q p
+  done;
+  match block with
+  | None -> ()
+  | Some b ->
+    let line = Layout.line_of m.Machine.layout b in
+    fprintf ppf "block %#x:@." b;
+    Array.iteri
+      (fun n ns ->
+        fprintf ppf "  node %d: %a pend=%b pdg=%b@." n pp_base
+          (State_table.get ns.Machine.table line)
+          (State_table.pending ns.Machine.table line)
+          (State_table.pending_downgrade ns.Machine.table line))
+      m.Machine.nodes;
+    Array.iteri
+      (fun p priv ->
+        fprintf ppf "  proc %d private: %a@." p pp_base (State_table.get priv line))
+      m.Machine.privates

@@ -1,0 +1,29 @@
+(** Machine introspection: state dumps and invariant checking.
+
+    Used by the test suite after every randomized run, and available for
+    debugging protocol issues together with the [SHASTA_TRACE_BLOCK]
+    event trace. *)
+
+val check_invariants : Machine.t -> string list
+(** Machine-wide coherence invariants, checked over every allocated
+    block; returns human-readable violations (empty = healthy):
+
+    - at most one node holds a block [Exclusive], and then no other node
+      holds it [Shared];
+    - some node always holds a valid copy;
+    - no processor's private entry exceeds its node's shared entry
+      (outside an active batch, which temporarily suspends this);
+    - an invalid block with no miss entry and no deferred flag write
+      carries the invalid-flag pattern in every longword;
+    - a quiescent machine has no pending/pending-downgrade bits, busy
+      directory entries, queued messages, miss entries, downgrades or
+      batch markers. *)
+
+val assert_invariants : Machine.t -> unit
+(** Raises [Failure] with the violation list if any invariant fails. *)
+
+val dump : ?block:int -> Format.formatter -> Machine.t -> unit
+(** Human-readable machine state: per-processor status, outstanding miss
+    entries, downgrades, busy directory entries, lock/barrier state and
+    network queue depths. With [block], also prints that block's state
+    on every node and in every private table. *)

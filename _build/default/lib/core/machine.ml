@@ -1,0 +1,237 @@
+module Layout = Shasta_mem.Layout
+module Image = Shasta_mem.Image
+module State_table = Shasta_mem.State_table
+module Block_map = Shasta_mem.Block_map
+module Home_map = Shasta_mem.Home_map
+module Alloc = Shasta_mem.Alloc
+module Topology = Shasta_net.Topology
+module Network = Shasta_net.Network
+
+type node_state = {
+  image : Image.t;
+  table : State_table.t;
+  misses : Miss_table.t;
+  downgrades : Downgrade.t;
+  deferred_flags : (int, unit) Hashtbl.t;
+  batch_lines : (int, int) Hashtbl.t;
+  batch_wranges : (int, (int * int) list) Hashtbl.t;
+  mutable downgrade_epoch : int;
+}
+
+type lock_state = {
+  mutable held : bool;
+  mutable holder : int;
+  mutable lock_queue : int list;
+}
+
+type barrier_state = { mutable arrived : int; mutable generation : int }
+
+type proc_state = {
+  pid : int;
+  node : int;
+  stats : Stats.t;
+  prng : Shasta_util.Prng.t;
+  mutable engine : Shasta_sim.Engine.proc option;
+  mutable category : Stats.category;
+  mutable ops_since_poll : int;
+  mutable outstanding_stores : int;
+  granted : (int, unit) Hashtbl.t;
+  barrier_seen : (int, int) Hashtbl.t;
+  mutable finished : bool;
+  mutable app_finish_cycles : int;
+}
+
+type t = {
+  cfg : Config.t;
+  topo : Topology.t;
+  net : Msg.t Network.t;
+  layout : Layout.t;
+  blocks : Block_map.t;
+  homes : Home_map.t;
+  heap : Alloc.t;
+  nodes : node_state array;
+  privates : State_table.t array;
+  dirs : Directory.t array;
+  locks : (int, lock_state) Hashtbl.t;
+  barriers : (int, barrier_state) Hashtbl.t;
+  barrier_local : (int * int, barrier_state) Hashtbl.t;
+  procs : proc_state array;
+  mutable next_lock : int;
+  mutable next_barrier : int;
+}
+
+let create (cfg : Config.t) =
+  let layout =
+    Layout.create ~line_size:cfg.Config.line_size ~heap_bytes:cfg.Config.heap_bytes
+      ()
+  in
+  let blocks = Block_map.create layout in
+  let topo =
+    Topology.create ~nprocs:cfg.Config.nprocs
+      ~procs_per_node:cfg.Config.procs_per_node
+  in
+  let make_node _ =
+    {
+      image = Image.create layout;
+      table = State_table.create layout;
+      misses = Miss_table.create ();
+      downgrades = Downgrade.create ();
+      deferred_flags = Hashtbl.create 8;
+      batch_lines = Hashtbl.create 32;
+      batch_wranges = Hashtbl.create 8;
+      downgrade_epoch = 0;
+    }
+  in
+  let make_proc pid =
+    {
+      pid;
+      node = Config.node_of_proc cfg pid;
+      stats = Stats.create ();
+      prng = Shasta_util.Prng.create (cfg.Config.seed + (1000 * pid));
+      engine = None;
+      category = Stats.Task;
+      ops_since_poll = 0;
+      outstanding_stores = 0;
+      granted = Hashtbl.create 4;
+      barrier_seen = Hashtbl.create 4;
+      finished = false;
+      app_finish_cycles = 0;
+    }
+  in
+  {
+    cfg;
+    topo;
+    net = Network.create topo cfg.Config.link;
+    layout;
+    blocks;
+    homes = Home_map.create layout ~nprocs:cfg.Config.nprocs;
+    heap = Alloc.create layout blocks;
+    nodes = Array.init (Config.nnodes cfg) make_node;
+    privates =
+      Array.init cfg.Config.nprocs (fun _ -> State_table.create layout);
+    dirs = Array.init cfg.Config.nprocs (fun _ -> Directory.create ());
+    locks = Hashtbl.create 64;
+    barriers = Hashtbl.create 8;
+    barrier_local = Hashtbl.create 32;
+    procs = Array.init cfg.Config.nprocs make_proc;
+    next_lock = 0;
+    next_barrier = 0;
+  }
+
+let node_of t p = t.procs.(p).node
+
+let home_of_block t block =
+  Home_map.home_of_line t.homes t.layout (Layout.line_of t.layout block)
+
+let block_base t addr = Block_map.base_addr t.blocks t.layout addr
+let block_size t addr = Block_map.size_bytes t.blocks t.layout addr
+
+(* Establish initial ownership of one block: the home's node holds an
+   exclusive zeroed copy; every other node is invalid with the flag
+   pattern stamped so that flag-based load checks fail as they must. *)
+let init_block_ownership t ~block =
+  let home = home_of_block t block in
+  let home_node = node_of t home in
+  let size = block_size t block in
+  let first_line = Layout.line_of t.layout block in
+  let nlines = size / t.layout.Layout.line_size in
+  Array.iteri
+    (fun n ns ->
+      if n = home_node then
+        for l = first_line to first_line + nlines - 1 do
+          State_table.set ns.table l State_table.Exclusive
+        done
+      else begin
+        Image.write_invalid_flag ns.image ~addr:block ~len:size;
+        for l = first_line to first_line + nlines - 1 do
+          State_table.set ns.table l State_table.Invalid
+        done
+      end)
+    t.nodes;
+  Array.iteri
+    (fun p tbl ->
+      let state =
+        if p = home then State_table.Exclusive else State_table.Invalid
+      in
+      for l = first_line to first_line + nlines - 1 do
+        State_table.set tbl l state
+      done)
+    t.privates
+
+let iter_blocks t ~addr ~len f =
+  let pos = ref (block_base t addr) in
+  while !pos < addr + len do
+    f !pos;
+    pos := !pos + block_size t !pos
+  done
+
+let alloc t ?block_size:bs ?home size =
+  let addr = Alloc.alloc t.heap ?block_size:bs size in
+  (match home with
+  | Some proc -> Home_map.set_home t.homes t.layout ~addr ~len:size ~proc
+  | None -> ());
+  iter_blocks t ~addr ~len:size (fun b -> init_block_ownership t ~block:b);
+  addr
+
+let place t ~addr ~len ~proc =
+  (* Setup phase only. Homes live at page granularity, so re-pinning any
+     byte of a page moves the whole page: operate on the page-aligned
+     envelope so block states and the home map never disagree. Data must
+     be poked after placement. *)
+  let ps = t.layout.Layout.page_size in
+  let start = addr / ps * ps in
+  let stop = (((addr + len - 1) / ps) + 1) * ps in
+  let env_len = stop - start in
+  iter_blocks t ~addr:start ~len:env_len (fun b ->
+      let size = block_size t b in
+      Array.iter
+        (fun ns -> Image.write_invalid_flag ns.image ~addr:b ~len:size)
+        t.nodes);
+  Home_map.set_home t.homes t.layout ~addr:start ~len:env_len ~proc;
+  let new_node = node_of t proc in
+  Image.write_bytes t.nodes.(new_node).image ~addr:start
+    (Bytes.make env_len '\000');
+  iter_blocks t ~addr:start ~len:env_len (fun b ->
+      init_block_ownership t ~block:b)
+
+let alloc_lock t =
+  let id = t.next_lock in
+  t.next_lock <- id + 1;
+  Hashtbl.replace t.locks id { held = false; holder = -1; lock_queue = [] };
+  id
+
+let alloc_barrier t =
+  let id = t.next_barrier in
+  t.next_barrier <- id + 1;
+  Hashtbl.replace t.barriers id { arrived = 0; generation = 0 };
+  id
+
+let lock_home t id = id mod t.cfg.Config.nprocs
+let barrier_home t id = id mod t.cfg.Config.nprocs
+
+let quiescent t =
+  let procs_done = Array.for_all (fun p -> p.finished) t.procs in
+  let net_empty =
+    let ok = ref true in
+    for p = 0 to t.cfg.Config.nprocs - 1 do
+      if Network.queued t.net ~dst:p > 0 then ok := false
+    done;
+    !ok
+  in
+  let nodes_idle =
+    Array.for_all
+      (fun ns -> Miss_table.count ns.misses = 0 && Downgrade.count ns.downgrades = 0)
+      t.nodes
+  in
+  let dirs_idle =
+    Array.for_all
+      (fun d ->
+        let idle = ref true in
+        Directory.iter (fun _ e -> if e.Directory.busy || e.Directory.queue <> [] then idle := false) d;
+        !idle)
+      t.dirs
+  in
+  procs_done && net_empty && nodes_idle && dirs_idle
+
+let parallel_cycles t =
+  Array.fold_left (fun acc p -> max acc p.app_finish_cycles) 0 t.procs

@@ -1,0 +1,65 @@
+type entry = {
+  id : int;
+  block : int;
+  requester : int;
+  start_cycles : int;
+  mutable kind : Msg.req_kind;
+  mutable data_ready : bool;
+  mutable acks_expected : int;
+  mutable acks_received : int;
+  mutable store_ranges : (int * int) list;
+  mutable store_procs : Shasta_util.Bitset.t;
+  mutable upgrade_after_reply : bool;
+  mutable inval_after_reply : bool;
+  mutable queued_fwds : (int * Msg.t) list;
+}
+
+let complete e =
+  e.data_ready && e.acks_expected >= 0 && e.acks_received >= e.acks_expected
+
+type t = {
+  by_block : (int, entry) Hashtbl.t;
+  by_id : (int, entry) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create () =
+  { by_block = Hashtbl.create 64; by_id = Hashtbl.create 64; next_id = 0 }
+
+let find t ~block = Hashtbl.find_opt t.by_block block
+
+let add t ~block ~requester ~kind ~now =
+  assert (not (Hashtbl.mem t.by_block block));
+  let e =
+    {
+      id = t.next_id;
+      block;
+      requester;
+      start_cycles = now;
+      kind;
+      data_ready = false;
+      acks_expected = -1;
+      acks_received = 0;
+      store_ranges = [];
+      store_procs = Shasta_util.Bitset.empty;
+      upgrade_after_reply = false;
+      inval_after_reply = false;
+      queued_fwds = [];
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.by_block block e;
+  Hashtbl.replace t.by_id e.id e;
+  e
+
+let remove t e =
+  Hashtbl.remove t.by_block e.block;
+  Hashtbl.remove t.by_id e.id
+
+let find_id t id = Hashtbl.find_opt t.by_id id
+let outstanding_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.by_id []
+let count t = Hashtbl.length t.by_block
+
+let add_store_range e ~off ~len ~proc =
+  e.store_ranges <- (off, len) :: e.store_ranges;
+  e.store_procs <- Shasta_util.Bitset.add proc e.store_procs

@@ -1,0 +1,58 @@
+(** Per-node table of outstanding misses.
+
+    One entry exists per block with a request in flight. The entry
+    supports the protocol's aggressive lockup-free behaviour: stores by
+    any processor of the node merge their (offset, len) ranges into the
+    entry and proceed without stalling; reply data is written around the
+    merged ranges. Requests from other processors of the node for the
+    same block attach to the existing entry rather than producing a
+    second network request (§3.4.2). *)
+
+type entry = {
+  id : int;
+  block : int;
+  requester : int;  (** processor whose request is in flight *)
+  start_cycles : int;
+  mutable kind : Msg.req_kind;
+  mutable data_ready : bool;
+  mutable acks_expected : int;  (** -1 until the reply announces it *)
+  mutable acks_received : int;
+  mutable store_ranges : (int * int) list;
+      (** block-relative ranges written by non-blocking stores *)
+  mutable store_procs : Shasta_util.Bitset.t;
+      (** processors with stores merged into this entry *)
+  mutable upgrade_after_reply : bool;
+      (** a store merged into a read entry: issue an ownership request
+          once the read data arrives *)
+  mutable inval_after_reply : bool;
+      (** an invalidation raced with the pending fetch; apply the reply,
+          wake waiters, then invalidate immediately *)
+  mutable queued_fwds : (int * Msg.t) list;
+      (** forwarded requests that arrived before our data did *)
+}
+
+val complete : entry -> bool
+(** Data applied and all expected invalidation acks received. *)
+
+type t
+
+val create : unit -> t
+
+val find : t -> block:int -> entry option
+
+val add : t -> block:int -> requester:int -> kind:Msg.req_kind -> now:int -> entry
+
+val remove : t -> entry -> unit
+
+val find_id : t -> int -> entry option
+(** Lookup by entry id — ids are never reused, so a release operation can
+    snapshot the ids of currently outstanding entries and wait for
+    exactly those to drain. *)
+
+val outstanding_ids : t -> int list
+
+val count : t -> int
+
+val add_store_range : entry -> off:int -> len:int -> proc:int -> unit
+(** Record a non-blocking store (coalescing is not attempted; ranges are
+    applied in order at merge time, which is equivalent). *)

@@ -1,0 +1,52 @@
+type req_kind = Read | Readex | Upgrade
+
+type t =
+  | Req of { kind : req_kind; block : int }
+  | Fwd of { kind : req_kind; block : int; requester : int; inval_acks : int }
+  | Data_reply of {
+      kind : req_kind;
+      block : int;
+      data : Bytes.t;
+      from_home : bool;
+      inval_acks : int;
+    }
+  | Upgrade_reply of { block : int; inval_acks : int }
+  | Invalidate of { block : int; requester : int }
+  | Inval_ack of { block : int }
+  | Sharing_wb of { block : int; new_sharer : int }
+  | Own_ack of { block : int }
+  | Downgrade of { block : int; target : Shasta_mem.State_table.base }
+  | Lock_req of { lock : int }
+  | Lock_grant of { lock : int }
+  | Lock_release of { lock : int }
+  | Barrier_arrive of { barrier : int }
+  | Barrier_release of { barrier : int; generation : int }
+
+let header = 16
+
+let size_bytes = function
+  | Data_reply { data; _ } -> header + Bytes.length data
+  | Req _ | Fwd _ | Upgrade_reply _ | Invalidate _ | Inval_ack _
+  | Sharing_wb _ | Own_ack _ | Downgrade _ | Lock_req _ | Lock_grant _
+  | Lock_release _ | Barrier_arrive _ | Barrier_release _ ->
+    header
+
+let describe = function
+  | Req { kind = Read; _ } -> "read_req"
+  | Req { kind = Readex; _ } -> "readex_req"
+  | Req { kind = Upgrade; _ } -> "upgrade_req"
+  | Fwd { kind = Read; _ } -> "read_fwd"
+  | Fwd { kind = Readex; _ } -> "readex_fwd"
+  | Fwd { kind = Upgrade; _ } -> "upgrade_fwd"
+  | Data_reply _ -> "data_reply"
+  | Upgrade_reply _ -> "upgrade_reply"
+  | Invalidate _ -> "invalidate"
+  | Inval_ack _ -> "inval_ack"
+  | Sharing_wb _ -> "sharing_wb"
+  | Own_ack _ -> "own_ack"
+  | Downgrade _ -> "downgrade"
+  | Lock_req _ -> "lock_req"
+  | Lock_grant _ -> "lock_grant"
+  | Lock_release _ -> "lock_release"
+  | Barrier_arrive _ -> "barrier_arrive"
+  | Barrier_release _ -> "barrier_release"

@@ -1,0 +1,1331 @@
+module Engine = Shasta_sim.Engine
+module Layout = Shasta_mem.Layout
+module Image = Shasta_mem.Image
+module State_table = Shasta_mem.State_table
+module Network = Shasta_net.Network
+module Bitset = Shasta_util.Bitset
+module Histogram = Shasta_util.Histogram
+
+type ctx = {
+  m : Machine.t;
+  eng : Engine.proc;
+  ps : Machine.proc_state;
+  t : Timing.t;
+  smp : bool;
+}
+
+let make_ctx m eng =
+  let ps = m.Machine.procs.(Engine.pid eng) in
+  ps.Machine.engine <- Some eng;
+  {
+    m;
+    eng;
+    ps;
+    t = m.Machine.cfg.Config.timing;
+    smp = m.Machine.cfg.Config.variant = Config.Smp;
+  }
+
+(* Debug tracing of every protocol event touching one block: set
+   SHASTA_TRACE_BLOCK to the block's base address (decimal or 0x hex). *)
+let trace_block =
+  match Sys.getenv_opt "SHASTA_TRACE_BLOCK" with
+  | Some s -> Some (int_of_string s)
+  | None -> None
+
+let machine ctx = ctx.m
+let pid ctx = ctx.ps.Machine.pid
+let node ctx = ctx.ps.Machine.node
+let proc_state ctx = ctx.ps
+let engine_proc ctx = ctx.eng
+let timing ctx = ctx.t
+let is_smp ctx = ctx.smp
+let node_state ctx = ctx.m.Machine.nodes.(node ctx)
+let node_image ctx = (node_state ctx).Machine.image
+
+let check_table ctx =
+  if ctx.smp then ctx.m.Machine.privates.(pid ctx)
+  else (node_state ctx).Machine.table
+
+(* ------------------------------------------------------------------ *)
+(* Cycle accounting.                                                   *)
+
+let charge ctx c =
+  if not ctx.ps.Machine.finished then
+    Stats.add_cycles ctx.ps.Machine.stats ctx.ps.Machine.category c;
+  Engine.advance_local ctx.eng c
+
+let charge_yield ctx c =
+  if not ctx.ps.Machine.finished then
+    Stats.add_cycles ctx.ps.Machine.stats ctx.ps.Machine.category c;
+  Engine.advance ctx.eng c
+
+let with_category ctx cat f =
+  let saved = ctx.ps.Machine.category in
+  ctx.ps.Machine.category <- cat;
+  Fun.protect ~finally:(fun () -> ctx.ps.Machine.category <- saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Geometry helpers.                                                   *)
+
+let lines_of_block ctx block =
+  let layout = ctx.m.Machine.layout in
+  let first = Layout.line_of layout block in
+  (first, Machine.block_size ctx.m block / layout.Layout.line_size)
+
+let state_rank = function
+  | State_table.Invalid -> 0
+  | State_table.Shared -> 1
+  | State_table.Exclusive -> 2
+
+let set_block_state ctx table block st =
+  let first, n = lines_of_block ctx block in
+  for l = first to first + n - 1 do
+    State_table.set table l st
+  done
+
+let set_block_pending ctx table block v =
+  let first, n = lines_of_block ctx block in
+  for l = first to first + n - 1 do
+    State_table.set_pending table l v
+  done
+
+let set_block_pending_downgrade ctx table block v =
+  let first, n = lines_of_block ctx block in
+  for l = first to first + n - 1 do
+    State_table.set_pending_downgrade table l v
+  done
+
+(* Raise a private state table to [st] (never downgrade). *)
+let raise_private ctx p block st =
+  let table = ctx.m.Machine.privates.(p) in
+  let first, n = lines_of_block ctx block in
+  for l = first to first + n - 1 do
+    if state_rank (State_table.get table l) < state_rank st then
+      State_table.set table l st
+  done
+
+(* Lower a private state table to [st] (never upgrade). *)
+let lower_private ctx p block st =
+  let table = ctx.m.Machine.privates.(p) in
+  let first, n = lines_of_block ctx block in
+  for l = first to first + n - 1 do
+    if state_rank (State_table.get table l) > state_rank st then
+      State_table.set table l st
+  done
+
+let private_state ctx p block =
+  let table = ctx.m.Machine.privates.(p) in
+  State_table.get table (Layout.line_of ctx.m.Machine.layout block)
+
+(* ------------------------------------------------------------------ *)
+(* Invalid-flag stamping, with batch deferral (§3.4.4).                *)
+
+let block_in_active_batch ctx block =
+  let ns = node_state ctx in
+  let first, n = lines_of_block ctx block in
+  let hit = ref false in
+  for l = first to first + n - 1 do
+    if Hashtbl.mem ns.Machine.batch_lines l then hit := true
+  done;
+  !hit
+
+let write_flag_now ctx block =
+  let ns = node_state ctx in
+  let size = Machine.block_size ctx.m block in
+  (* Preserve non-blocking-store bytes only while a future data reply
+     will still merge around them (fetch in flight, or an ownership
+     request chained behind a read). Once the entry's data is complete
+     the stores have been serialized into the node copy -- and possibly
+     shipped onward -- so a surrendered block must be stamped entirely,
+     or a later flag-based load would read the stale word as valid. *)
+  let skip =
+    match Miss_table.find ns.Machine.misses ~block with
+    | Some e
+      when (not e.Miss_table.data_ready) || e.Miss_table.upgrade_after_reply ->
+      e.Miss_table.store_ranges
+    | Some _ | None -> []
+  in
+  match skip with
+  | [] -> Image.write_invalid_flag ns.Machine.image ~addr:block ~len:size
+  | _ ->
+    let flags = Bytes.create size in
+    for w = 0 to (size / 4) - 1 do
+      Bytes.set_int32_le flags (4 * w) Image.invalid_flag32
+    done;
+    Image.write_bytes ns.Machine.image ~addr:block ~skip flags
+
+let rec stamp_invalid ctx block =
+  let ns = node_state ctx in
+  if block_in_active_batch ctx block then begin
+    trace_stamp ctx block true;
+    Hashtbl.replace ns.Machine.deferred_flags block ()
+  end
+  else begin
+    trace_stamp ctx block false;
+    write_flag_now ctx block
+  end
+
+and trace_stamp ctx block deferred =
+  if trace_block = Some block then
+    Printf.eprintf "[p%d] stamp %s\n%!" (pid ctx)
+      (if deferred then "deferred" else "NOW")
+
+(* ------------------------------------------------------------------ *)
+(* Message handling. [deliver] routes to the network unless the
+   destination is this very processor, in which case the handler runs
+   inline (a processor never sends itself a message; this is the
+   requester-is-home fast path of Base-Shasta). *)
+
+let trace ctx block msg =
+  if trace_block = Some block then begin
+    let v = Image.load_float (node_state ctx).Machine.image (block + 32) in
+    Printf.eprintf "[p%d @%d] %s | v=%h\n%!" (pid ctx) (Engine.now ctx.eng) msg v
+  end
+
+let block_of_msg = function
+  | Msg.Req { block; _ }
+  | Msg.Fwd { block; _ }
+  | Msg.Data_reply { block; _ }
+  | Msg.Upgrade_reply { block; _ }
+  | Msg.Invalidate { block; _ }
+  | Msg.Inval_ack { block; _ }
+  | Msg.Sharing_wb { block; _ }
+  | Msg.Own_ack { block; _ }
+  | Msg.Downgrade { block; _ } ->
+    Some block
+  | Msg.Lock_req _ | Msg.Lock_grant _ | Msg.Lock_release _
+  | Msg.Barrier_arrive _ | Msg.Barrier_release _ ->
+    None
+
+let rec deliver ctx dst msg =
+  if dst = pid ctx then handle_message ctx ~src:(pid ctx) msg
+  else begin
+    if not (Shasta_net.Topology.same_node ctx.m.Machine.topo (pid ctx) dst) then
+      charge ctx ctx.t.Timing.remote_send;
+    Network.send ctx.m.Machine.net ~src:(pid ctx) ~dst ~now:(Engine.now ctx.eng)
+      ~size:(Msg.size_bytes msg) msg
+  end
+
+and handle_message ctx ~src msg =
+  (match block_of_msg msg with
+  | Some b -> trace ctx b (Printf.sprintf "handle %s from p%d" (Msg.describe msg) src)
+  | None -> ());
+  charge ctx ctx.t.Timing.handler_base;
+  (match msg with
+  | Msg.Req _ | Msg.Fwd _ | Msg.Data_reply _ | Msg.Upgrade_reply _
+  | Msg.Invalidate _ | Msg.Inval_ack _ | Msg.Sharing_wb _ | Msg.Own_ack _
+  | Msg.Downgrade _ ->
+    if ctx.smp then charge ctx ctx.t.Timing.smp_lock
+  | Msg.Lock_req _ | Msg.Lock_grant _ | Msg.Lock_release _
+  | Msg.Barrier_arrive _ | Msg.Barrier_release _ ->
+    ());
+  match msg with
+  | Msg.Req { kind; block } -> handle_dir_request ctx ~src ~kind ~block
+  | Msg.Fwd { kind; block; requester; inval_acks } ->
+    handle_fwd ctx ~src ~kind ~block ~requester ~inval_acks msg
+  | Msg.Data_reply { kind; block; data; from_home; inval_acks } ->
+    handle_data_reply ctx ~kind ~block ~data ~from_home ~inval_acks
+  | Msg.Upgrade_reply { block; inval_acks } ->
+    handle_upgrade_reply ctx ~block ~inval_acks
+  | Msg.Invalidate { block; requester } ->
+    handle_invalidate ctx ~src ~block ~requester msg
+  | Msg.Inval_ack { block } -> handle_inval_ack ctx ~block
+  | Msg.Sharing_wb { block; new_sharer } ->
+    handle_sharing_wb ctx ~block ~new_sharer
+  | Msg.Own_ack { block } -> handle_own_ack ctx ~block
+  | Msg.Downgrade { block; target } -> handle_downgrade_msg ctx ~block ~target
+  | Msg.Lock_req { lock } -> handle_lock_req ctx ~src ~lock
+  | Msg.Lock_grant { lock } -> Hashtbl.replace ctx.ps.Machine.granted lock ()
+  | Msg.Lock_release { lock } -> handle_lock_release ctx ~lock
+  | Msg.Barrier_arrive { barrier } -> handle_barrier_arrive ctx ~barrier
+  | Msg.Barrier_release { barrier; generation } ->
+    if
+      ctx.m.Machine.cfg.Config.smp_sync
+      && ctx.m.Machine.cfg.Config.clustering > 1
+    then begin
+      (* Publish the release through the node's shared memory. *)
+      let key = (barrier, node ctx) in
+      let bs =
+        match Hashtbl.find_opt ctx.m.Machine.barrier_local key with
+        | Some bs -> bs
+        | None ->
+          let bs = { Machine.arrived = 0; generation = 0 } in
+          Hashtbl.replace ctx.m.Machine.barrier_local key bs;
+          bs
+      in
+      bs.Machine.generation <- generation
+    end
+    else Hashtbl.replace ctx.ps.Machine.barrier_seen barrier generation
+
+(* ---------------- Directory (home) side ---------------- *)
+
+and dir_entry ctx block =
+  (* The entry lives in the home processor's directory; with the
+     share_directory extension the handler may be running on a
+     colocated processor, so resolve the home explicitly. *)
+  let home = Machine.home_of_block ctx.m block in
+  Directory.entry ctx.m.Machine.dirs.(home) ~block ~home
+
+and node_has_valid ctx block =
+  let ns = node_state ctx in
+  let line = Layout.line_of ctx.m.Machine.layout block in
+  let base = State_table.get ns.Machine.table line in
+  base <> State_table.Invalid
+  && (not (State_table.pending ns.Machine.table line))
+  && not (State_table.pending_downgrade ns.Machine.table line)
+
+and handle_dir_request ctx ~src ~kind ~block =
+  charge ctx ctx.t.Timing.handler_home;
+  let e = dir_entry ctx block in
+  if e.Directory.busy then Directory.push_queued e ~src (Msg.Req { kind; block })
+  else
+    match kind with
+    | Msg.Read -> handle_read_request ctx ~src ~block e
+    | Msg.Readex -> handle_readex_request ctx ~src ~block e
+    | Msg.Upgrade ->
+      if Bitset.mem src e.Directory.sharers then
+        handle_upgrade_request ctx ~src ~block e
+      else
+        (* The requester's copy was invalidated while its upgrade was in
+           flight: supply data as for a read-exclusive. *)
+        handle_readex_request ctx ~src ~block e
+
+and handle_read_request ctx ~src ~block e =
+  let ns = node_state ctx in
+  let line = Layout.line_of ctx.m.Machine.layout block in
+  if node_has_valid ctx block then begin
+    match State_table.get ns.Machine.table line with
+    | State_table.Shared ->
+      (* Home has a clean copy: serve directly (2 hops). *)
+      e.Directory.sharers <-
+        Bitset.add src (Bitset.add (pid ctx) e.Directory.sharers);
+      reply_data ctx ~dst:src ~kind:Msg.Read ~block ~inval_acks:0
+    | State_table.Exclusive ->
+      e.Directory.busy <- true;
+      start_node_downgrade ctx ~block ~target:State_table.Shared
+        ~deferred:(Downgrade.Reply_read { requester = src })
+    | State_table.Invalid -> assert false
+  end
+  else begin
+    e.Directory.busy <- true;
+    deliver ctx e.Directory.owner
+      (Msg.Fwd { kind = Msg.Read; block; requester = src; inval_acks = 0 })
+  end
+
+(* Send an invalidation to a sharer — except that a sharer on this very
+   node must be invalidated inline: the home has already serialized the
+   invalidating transaction, and leaving its own node's copy valid until
+   a sibling polls the message would let a later request be served from
+   the dead copy. *)
+and send_invalidate ctx ~block ~requester q =
+  if Machine.node_of ctx.m q = node ctx then
+    handle_invalidate ctx ~src:(pid ctx) ~block ~requester
+      (Msg.Invalidate { block; requester })
+  else deliver ctx q (Msg.Invalidate { block; requester })
+
+and handle_readex_request ctx ~src ~block e =
+  if node_has_valid ctx block then begin
+    (* The home node supplies the data and is itself invalidated;
+       sharers on other nodes (except the requester's) are invalidated
+       with acknowledgements flowing to the requester. *)
+    let invals =
+      List.filter
+        (fun q ->
+          Machine.node_of ctx.m q <> node ctx
+          && Machine.node_of ctx.m q <> Machine.node_of ctx.m src)
+        (Bitset.elements e.Directory.sharers)
+    in
+    List.iter (send_invalidate ctx ~block ~requester:src) invals;
+    let acks = List.length invals in
+    e.Directory.owner <- src;
+    e.Directory.sharers <- Bitset.singleton src;
+    e.Directory.busy <- true;
+    start_node_downgrade ctx ~block ~target:State_table.Invalid
+      ~deferred:(Downgrade.Reply_readex { requester = src; inval_acks = acks })
+  end
+  else begin
+    let owner = e.Directory.owner in
+    let invals =
+      List.filter
+        (fun q ->
+          Machine.node_of ctx.m q <> Machine.node_of ctx.m owner
+          && Machine.node_of ctx.m q <> Machine.node_of ctx.m src)
+        (Bitset.elements e.Directory.sharers)
+    in
+    List.iter (send_invalidate ctx ~block ~requester:src) invals;
+    let acks = List.length invals in
+    e.Directory.owner <- src;
+    e.Directory.sharers <- Bitset.singleton src;
+    e.Directory.busy <- true;
+    deliver ctx owner
+      (Msg.Fwd { kind = Msg.Readex; block; requester = src; inval_acks = acks })
+  end
+
+and handle_upgrade_request ctx ~src ~block e =
+  let invals =
+    List.filter
+      (fun q -> Machine.node_of ctx.m q <> Machine.node_of ctx.m src)
+      (Bitset.elements e.Directory.sharers)
+  in
+  List.iter (send_invalidate ctx ~block ~requester:src) invals;
+  e.Directory.owner <- src;
+  e.Directory.sharers <- Bitset.singleton src;
+  deliver ctx src (Msg.Upgrade_reply { block; inval_acks = List.length invals })
+
+and drain_dir_queue ctx block =
+  let e = dir_entry ctx block in
+  let rec loop () =
+    if not e.Directory.busy then
+      match Directory.pop_queued e with
+      | Some (src, Msg.Req { kind; block = b }) ->
+        assert (b = block);
+        (match kind with
+        | Msg.Read -> handle_read_request ctx ~src ~block e
+        | Msg.Readex -> handle_readex_request ctx ~src ~block e
+        | Msg.Upgrade ->
+          if Bitset.mem src e.Directory.sharers then
+            handle_upgrade_request ctx ~src ~block e
+          else handle_readex_request ctx ~src ~block e);
+        loop ()
+      | Some _ -> assert false
+      | None -> ()
+  in
+  loop ()
+
+and handle_sharing_wb ctx ~block ~new_sharer =
+  let e = dir_entry ctx block in
+  e.Directory.sharers <-
+    Bitset.add new_sharer (Bitset.add e.Directory.owner e.Directory.sharers);
+  e.Directory.busy <- false;
+  drain_dir_queue ctx block
+
+and handle_own_ack ctx ~block =
+  let e = dir_entry ctx block in
+  e.Directory.busy <- false;
+  drain_dir_queue ctx block
+
+(* ---------------- Owner / sharer side ---------------- *)
+
+and snapshot_block ctx block =
+  let ns = node_state ctx in
+  let size = Machine.block_size ctx.m block in
+  Image.snapshot ns.Machine.image ~addr:block ~len:size
+
+and send_data ctx ~dst ~kind ~block ~inval_acks data =
+  let from_home = pid ctx = Machine.home_of_block ctx.m block in
+  deliver ctx dst (Msg.Data_reply { kind; block; data; from_home; inval_acks })
+
+and reply_data ctx ~dst ~kind ~block ~inval_acks =
+  send_data ctx ~dst ~kind ~block ~inval_acks (snapshot_block ctx block)
+
+and handle_fwd ctx ~src ~kind ~block ~requester ~inval_acks msg =
+  let ns = node_state ctx in
+  let line = Layout.line_of ctx.m.Machine.layout block in
+  match Downgrade.find ns.Machine.downgrades ~block with
+  | Some dg -> Downgrade.push_queued dg ~src msg
+  | None -> (
+    match Miss_table.find ns.Machine.misses ~block with
+    | Some e
+      when (not e.Miss_table.data_ready)
+           && State_table.get ns.Machine.table line = State_table.Invalid ->
+      (* Our data is genuinely in flight: defer until it lands. When the
+         pending request is an upgrade the node still holds a valid
+         (shared) copy and the forwarded request — serialized before our
+         upgrade at the home — must be served immediately instead;
+         deferring it would deadlock against the home's busy queue. *)
+      e.Miss_table.queued_fwds <- (src, msg) :: e.Miss_table.queued_fwds
+    | Some _ | None -> (
+      let base = State_table.get ns.Machine.table line in
+      match kind with
+      | Msg.Read -> (
+        match base with
+        | State_table.Exclusive ->
+          start_node_downgrade ctx ~block ~target:State_table.Shared
+            ~deferred:(Downgrade.Reply_read { requester })
+        | State_table.Shared ->
+          execute_deferred ctx ~block ~target:State_table.Shared
+            ~deferred:(Downgrade.Reply_read { requester })
+        | State_table.Invalid -> assert false)
+      | Msg.Readex ->
+        assert (base <> State_table.Invalid);
+        start_node_downgrade ctx ~block ~target:State_table.Invalid
+          ~deferred:(Downgrade.Reply_readex { requester; inval_acks })
+      | Msg.Upgrade -> assert false))
+
+and handle_invalidate ctx ~src ~block ~requester msg =
+  let ns = node_state ctx in
+  match Downgrade.find ns.Machine.downgrades ~block with
+  | Some dg -> Downgrade.push_queued dg ~src msg
+  | None -> (
+    match Miss_table.find ns.Machine.misses ~block with
+    | Some e when not e.Miss_table.data_ready ->
+      (* The invalidation raced with our refetch and targets the copy we
+         held when the home serialized the invalidating write — always
+         before our own request. For a pure read fetch the reply data is
+         therefore already stale: apply it, wake waiters, invalidate
+         immediately. For an ownership fetch (read-exclusive, upgrade,
+         or a read with a chained ownership request) the reply grants
+         fresh exclusive ownership serialized after the invalidation —
+         but the node's CURRENT (shared) copy must die right now, or
+         sibling processors could keep reading it after the invalidating
+         writer's release completes. *)
+      if e.Miss_table.kind = Msg.Read then
+        (* Applies to chained-upgrade reads too: the invalidation-aware
+           apply path stamps before the chained ownership request picks
+           its kind, so the chain fetches fresh data. *)
+        e.Miss_table.inval_after_reply <- true
+      else begin
+        let line = Layout.line_of ctx.m.Machine.layout block in
+        if State_table.get ns.Machine.table line <> State_table.Invalid then begin
+          ns.Machine.downgrade_epoch <- ns.Machine.downgrade_epoch + 1;
+          stamp_invalid ctx block;
+          set_block_state ctx ns.Machine.table block State_table.Invalid;
+          List.iter
+            (fun q -> lower_private ctx q block State_table.Invalid)
+            (Config.procs_of_node ctx.m.Machine.cfg (node ctx))
+        end
+      end;
+      deliver ctx requester (Msg.Inval_ack { block })
+    | Some _ | None -> (
+      let line = Layout.line_of ctx.m.Machine.layout block in
+      match State_table.get ns.Machine.table line with
+      | State_table.Shared | State_table.Exclusive ->
+        start_node_downgrade ctx ~block ~target:State_table.Invalid
+          ~deferred:(Downgrade.Inval_done { requester })
+      | State_table.Invalid ->
+        (* Stale invalidation; nothing to do but acknowledge. *)
+        deliver ctx requester (Msg.Inval_ack { block })))
+
+(* ---------------- Downgrades (§3.4.3) ---------------- *)
+
+and start_node_downgrade ctx ~block ~target ~deferred =
+  let ns = node_state ctx in
+  trace ctx block
+    (Printf.sprintf "start_downgrade target=%s"
+       (match target with
+       | State_table.Invalid -> "I"
+       | State_table.Shared -> "S"
+       | State_table.Exclusive -> "E"));
+  charge ctx ctx.t.Timing.downgrade_initiate;
+  let siblings =
+    List.filter
+      (fun q -> q <> pid ctx)
+      (Config.procs_of_node ctx.m.Machine.cfg (node ctx))
+  in
+  let targets =
+    List.filter
+      (fun q -> state_rank (private_state ctx q block) > state_rank target)
+      siblings
+  in
+  lower_private ctx (pid ctx) block target;
+  let n = List.length targets in
+  Histogram.add ctx.ps.Machine.stats.Stats.downgrade_events n;
+  ctx.ps.Machine.stats.Stats.downgrades_sent <-
+    ctx.ps.Machine.stats.Stats.downgrades_sent + n;
+  if n = 0 then execute_deferred ctx ~block ~target ~deferred
+  else begin
+    ignore (Downgrade.add ns.Machine.downgrades ~block ~target ~deferred ~remaining:n);
+    set_block_pending_downgrade ctx ns.Machine.table block true;
+    List.iter
+      (fun q ->
+        charge ctx ctx.t.Timing.downgrade_send;
+        deliver ctx q (Msg.Downgrade { block; target }))
+      targets
+  end
+
+and handle_downgrade_msg ctx ~block ~target =
+  charge ctx ctx.t.Timing.handler_downgrade;
+  lower_private ctx (pid ctx) block target;
+  let ns = node_state ctx in
+  match Downgrade.find ns.Machine.downgrades ~block with
+  | None -> assert false
+  | Some dg ->
+    dg.Downgrade.remaining <- dg.Downgrade.remaining - 1;
+    if dg.Downgrade.remaining = 0 then begin
+      Downgrade.remove ns.Machine.downgrades dg;
+      set_block_pending_downgrade ctx ns.Machine.table block false;
+      execute_deferred ctx ~block ~target:dg.Downgrade.target
+        ~deferred:dg.Downgrade.deferred;
+      List.iter
+        (fun (src, msg) -> handle_message ctx ~src msg)
+        (Downgrade.take_queued dg)
+    end
+
+and execute_deferred ctx ~block ~target ~deferred =
+  let ns = node_state ctx in
+  ns.Machine.downgrade_epoch <- ns.Machine.downgrade_epoch + 1;
+  trace ctx block
+    (Printf.sprintf "execute_deferred %s"
+       (match deferred with
+       | Downgrade.Reply_read { requester } -> Printf.sprintf "reply_read->%d" requester
+       | Downgrade.Reply_readex { requester; _ } ->
+         Printf.sprintf "reply_readex->%d" requester
+       | Downgrade.Inval_done { requester } -> Printf.sprintf "inval_done->%d" requester));
+  let home = Machine.home_of_block ctx.m block in
+  (match Downgrade.find ns.Machine.downgrades ~block with
+  | Some _ -> assert false
+  | None -> ());
+  (* The snapshot is taken and this node's state fully downgraded
+     BEFORE any message is sent: a reply to a requester on this very
+     node is handled inline, and it must observe the downgraded state
+     (otherwise installing its fresh copy would be undone below). *)
+  match deferred with
+  | Downgrade.Reply_read { requester } ->
+    assert (target = State_table.Shared);
+    let data = snapshot_block ctx block in
+    set_block_state ctx ns.Machine.table block State_table.Shared;
+    send_data ctx ~dst:requester ~kind:Msg.Read ~block ~inval_acks:0 data;
+    if pid ctx = home then handle_sharing_wb ctx ~block ~new_sharer:requester
+    else deliver ctx home (Msg.Sharing_wb { block; new_sharer = requester })
+  | Downgrade.Reply_readex { requester; inval_acks } ->
+    assert (target = State_table.Invalid);
+    ignore home;
+    let data = snapshot_block ctx block in
+    stamp_invalid ctx block;
+    set_block_state ctx ns.Machine.table block State_table.Invalid;
+    (* The home's busy bit is cleared by the REQUESTER's Own_ack when it
+       applies this data: forwarding a later request to the new owner
+       before its data has landed would let it serve stale bytes. *)
+    send_data ctx ~dst:requester ~kind:Msg.Readex ~block ~inval_acks data
+  | Downgrade.Inval_done { requester } ->
+    assert (target = State_table.Invalid);
+    stamp_invalid ctx block;
+    set_block_state ctx ns.Machine.table block State_table.Invalid;
+    deliver ctx requester (Msg.Inval_ack { block })
+
+(* ---------------- Requester side: replies ---------------- *)
+
+and finish_entry ctx e =
+  let ns = node_state ctx in
+  Miss_table.remove ns.Machine.misses e;
+  Bitset.iter
+    (fun p ->
+      let q = ctx.m.Machine.procs.(p) in
+      q.Machine.outstanding_stores <- q.Machine.outstanding_stores - 1)
+    e.Miss_table.store_procs
+
+and complete_if_ready ctx e =
+  if Miss_table.complete e then begin
+    let fwds = List.rev e.Miss_table.queued_fwds in
+    e.Miss_table.queued_fwds <- [];
+    finish_entry ctx e;
+    List.iter (fun (src, msg) -> handle_message ctx ~src msg) fwds
+  end
+  else if e.Miss_table.data_ready then begin
+    (* Still awaiting acks, but the data is valid: serve queued
+       forwarded requests now. *)
+    let fwds = List.rev e.Miss_table.queued_fwds in
+    e.Miss_table.queued_fwds <- [];
+    List.iter (fun (src, msg) -> handle_message ctx ~src msg) fwds
+  end
+
+and handle_data_reply ctx ~kind ~block ~data ~from_home ~inval_acks =
+  charge ctx ctx.t.Timing.handler_data_apply;
+  let ns = node_state ctx in
+  match Miss_table.find ns.Machine.misses ~block with
+  | None -> assert false
+  | Some e ->
+    assert (not e.Miss_table.data_ready);
+    (* A refetch supersedes any flag write deferred by an active batch. *)
+    Hashtbl.remove ns.Machine.deferred_flags block;
+    let batch_skip =
+      Option.value ~default:[] (Hashtbl.find_opt ns.Machine.batch_wranges block)
+    in
+    trace ctx block
+      (Printf.sprintf "apply kind=%s entry_kind=%s ranges=[%s]"
+         (match kind with Msg.Read -> "R" | Msg.Readex -> "X" | Msg.Upgrade -> "U")
+         (match e.Miss_table.kind with Msg.Read -> "R" | Msg.Readex -> "X" | Msg.Upgrade -> "U")
+         (String.concat ";"
+            (List.map (fun (o, l) -> Printf.sprintf "%d+%d" o l)
+               e.Miss_table.store_ranges)));
+    Image.write_bytes ns.Machine.image ~addr:block
+      ~skip:(e.Miss_table.store_ranges @ batch_skip)
+      data;
+    let new_state =
+      match kind with
+      | Msg.Read -> State_table.Shared
+      | Msg.Readex | Msg.Upgrade -> State_table.Exclusive
+    in
+    set_block_state ctx ns.Machine.table block new_state;
+    set_block_pending ctx ns.Machine.table block false;
+    raise_private ctx (pid ctx) block new_state;
+    e.Miss_table.data_ready <- true;
+    e.Miss_table.acks_expected <- inval_acks;
+    if kind = Msg.Readex then begin
+      (* Completion acknowledgement of the ownership transfer. *)
+      let home = Machine.home_of_block ctx.m block in
+      if pid ctx = home then handle_own_ack ctx ~block
+      else deliver ctx home (Msg.Own_ack { block })
+    end;
+    Stats.record_miss ctx.ps.Machine.stats
+      { Stats.kind = e.Miss_table.kind; three_hop = not from_home };
+    if e.Miss_table.kind = Msg.Read then
+      Stats.record_read_latency ctx.ps.Machine.stats
+        (Engine.now ctx.eng - e.Miss_table.start_cycles);
+    if e.Miss_table.inval_after_reply then begin
+      (* Stalled accesses observe [data_ready] and re-run their checks;
+         the block is already gone again. *)
+      e.Miss_table.inval_after_reply <- false;
+      stamp_invalid ctx block;
+      set_block_state ctx ns.Machine.table block State_table.Invalid;
+      lower_private ctx (pid ctx) block State_table.Invalid
+    end;
+    if e.Miss_table.upgrade_after_reply && e.Miss_table.kind = Msg.Read then begin
+      (* A store merged into this read entry while it was pending: chain
+         an ownership request, keeping the entry (and its merged store
+         ranges) alive so that release operations wait for it. *)
+      e.Miss_table.upgrade_after_reply <- false;
+      e.Miss_table.data_ready <- false;
+      e.Miss_table.acks_expected <- -1;
+      let line = Layout.line_of ctx.m.Machine.layout block in
+      let kind2 =
+        if State_table.get ns.Machine.table line = State_table.Shared then
+          Msg.Upgrade
+        else Msg.Readex
+      in
+      e.Miss_table.kind <- kind2;
+      set_block_pending ctx ns.Machine.table block true;
+      charge ctx ctx.t.Timing.miss_setup;
+      deliver ctx (Machine.home_of_block ctx.m block)
+        (Msg.Req { kind = kind2; block })
+    end
+    else complete_if_ready ctx e
+
+and handle_upgrade_reply ctx ~block ~inval_acks =
+  charge ctx ctx.t.Timing.handler_data_apply;
+  let ns = node_state ctx in
+  match Miss_table.find ns.Machine.misses ~block with
+  | None -> assert false
+  | Some e ->
+    assert (not e.Miss_table.data_ready);
+    set_block_state ctx ns.Machine.table block State_table.Exclusive;
+    set_block_pending ctx ns.Machine.table block false;
+    raise_private ctx (pid ctx) block State_table.Exclusive;
+    e.Miss_table.data_ready <- true;
+    e.Miss_table.acks_expected <- inval_acks;
+    Stats.record_miss ctx.ps.Machine.stats
+      { Stats.kind = Msg.Upgrade; three_hop = false };
+    complete_if_ready ctx e
+
+and handle_inval_ack ctx ~block =
+  let ns = node_state ctx in
+  match Miss_table.find ns.Machine.misses ~block with
+  | None -> assert false
+  | Some e ->
+    e.Miss_table.acks_received <- e.Miss_table.acks_received + 1;
+    complete_if_ready ctx e
+
+(* ---------------- Synchronization ---------------- *)
+
+and handle_lock_req ctx ~src ~lock =
+  charge ctx ctx.t.Timing.sync_manager;
+  let ls = Hashtbl.find ctx.m.Machine.locks lock in
+  if not ls.Machine.held then begin
+    ls.Machine.held <- true;
+    ls.Machine.holder <- src;
+    deliver ctx src (Msg.Lock_grant { lock })
+  end
+  else ls.Machine.lock_queue <- src :: ls.Machine.lock_queue
+
+and handle_lock_release ctx ~lock =
+  charge ctx ctx.t.Timing.sync_manager;
+  let ls = Hashtbl.find ctx.m.Machine.locks lock in
+  match List.rev ls.Machine.lock_queue with
+  | [] ->
+    ls.Machine.held <- false;
+    ls.Machine.holder <- -1
+  | oldest :: rest ->
+    ls.Machine.lock_queue <- List.rev rest;
+    ls.Machine.holder <- oldest;
+    deliver ctx oldest (Msg.Lock_grant { lock })
+
+and handle_barrier_arrive ctx ~barrier =
+  charge ctx ctx.t.Timing.sync_manager;
+  let cfg = ctx.m.Machine.cfg in
+  let hierarchical = cfg.Config.smp_sync && cfg.Config.clustering > 1 in
+  let expected = if hierarchical then Config.nnodes cfg else cfg.Config.nprocs in
+  let bs = Hashtbl.find ctx.m.Machine.barriers barrier in
+  bs.Machine.arrived <- bs.Machine.arrived + 1;
+  if bs.Machine.arrived = expected then begin
+    bs.Machine.arrived <- 0;
+    bs.Machine.generation <- bs.Machine.generation + 1;
+    let generation = bs.Machine.generation in
+    if hierarchical then
+      for n = 0 to Config.nnodes cfg - 1 do
+        deliver ctx (List.hd (Config.procs_of_node cfg n))
+          (Msg.Barrier_release { barrier; generation })
+      done
+    else
+      for p = 0 to cfg.Config.nprocs - 1 do
+        deliver ctx p (Msg.Barrier_release { barrier; generation })
+      done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Polling.                                                            *)
+
+let poll ctx =
+  let cat =
+    if ctx.ps.Machine.category = Stats.Task then Stats.Message
+    else ctx.ps.Machine.category
+  in
+  let rec loop () =
+    match
+      Network.poll ctx.m.Machine.net ~dst:(pid ctx) ~now:(Engine.now ctx.eng)
+    with
+    | Some (src, msg) ->
+      handle_message ctx ~src msg;
+      loop ()
+    | None -> ()
+  in
+  with_category ctx cat loop
+
+let op_tick ctx =
+  ctx.ps.Machine.ops_since_poll <- ctx.ps.Machine.ops_since_poll + 1;
+  if ctx.ps.Machine.ops_since_poll >= ctx.t.Timing.poll_interval_ops then begin
+    ctx.ps.Machine.ops_since_poll <- 0;
+    if ctx.m.Machine.cfg.Config.checks_enabled then
+      charge ctx ctx.t.Timing.poll;
+    poll ctx;
+    Engine.yield ctx.eng
+  end
+
+let stall ctx cat pred =
+  with_category ctx cat (fun () ->
+      while not (pred ()) do
+        poll ctx;
+        if not (pred ()) then charge_yield ctx ctx.t.Timing.stall_gap
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Requests.                                                           *)
+
+(* Route a directory-bound message. With the share_directory extension
+   (5), a sender colocated with the home's node manipulates the
+   directory directly — the home's data structures are shared within
+   the node — eliminating the intra-node message and its reply hop. *)
+let deliver_dir ctx home msg =
+  if
+    home <> pid ctx
+    && (machine ctx).Machine.cfg.Config.share_directory
+    && Machine.node_of ctx.m home = node ctx
+  then begin
+    if ctx.smp then charge ctx ctx.t.Timing.smp_lock;
+    handle_message ctx ~src:(pid ctx) msg
+  end
+  else deliver ctx home msg
+
+let issue_request ctx ~block ~kind =
+  let ns = node_state ctx in
+  trace ctx block
+    (Printf.sprintf "issue_request %s"
+       (match kind with Msg.Read -> "R" | Msg.Readex -> "X" | Msg.Upgrade -> "U"));
+  assert (Miss_table.find ns.Machine.misses ~block = None);
+  let e =
+    Miss_table.add ns.Machine.misses ~block ~requester:(pid ctx) ~kind
+      ~now:(Engine.now ctx.eng)
+  in
+  set_block_pending ctx ns.Machine.table block true;
+  charge ctx ctx.t.Timing.miss_setup;
+  deliver_dir ctx (Machine.home_of_block ctx.m block) (Msg.Req { kind; block });
+  e
+
+(* ------------------------------------------------------------------ *)
+(* Miss paths called from the Dsm layer.                               *)
+
+let load_miss ctx ~addr =
+  let block = Machine.block_base ctx.m addr in
+  let ns = node_state ctx in
+  let line = Layout.line_of ctx.m.Machine.layout addr in
+  charge ctx ctx.t.Timing.protocol_entry;
+  if ctx.smp then charge ctx ctx.t.Timing.smp_lock;
+  let base = State_table.get ns.Machine.table line in
+  if base <> State_table.Invalid then begin
+    (* The node has the data, so the flag value is application data: a
+       false miss — or, under SMP, possibly just a private-state miss. *)
+    if State_table.pending_downgrade ns.Machine.table line then
+      (* Pre-downgrade state suffices for a load; consume the value now
+         without touching the private state (§3.4.3). *)
+      with_category ctx Stats.Other (fun () ->
+          charge ctx ctx.t.Timing.private_upgrade)
+    else if ctx.smp && state_rank (private_state ctx (pid ctx) block) = 0 then begin
+      raise_private ctx (pid ctx) block State_table.Shared;
+      ctx.ps.Machine.stats.Stats.private_upgrades <-
+        ctx.ps.Machine.stats.Stats.private_upgrades + 1;
+      with_category ctx Stats.Other (fun () ->
+          charge ctx ctx.t.Timing.private_upgrade)
+    end;
+    ctx.ps.Machine.stats.Stats.false_misses <-
+      ctx.ps.Machine.stats.Stats.false_misses + 1;
+    `Valid
+  end
+  else
+    match Miss_table.find ns.Machine.misses ~block with
+    | Some e when not e.Miss_table.data_ready ->
+      stall ctx Stats.Read (fun () -> e.Miss_table.data_ready);
+      `Retry
+    | Some _ ->
+      (* The previous transaction is still collecting invalidation acks
+         and the block has been invalidated again underneath it: a new
+         request must wait for the old entry to drain. *)
+      stall ctx Stats.Read (fun () ->
+          Option.is_none (Miss_table.find ns.Machine.misses ~block));
+      `Retry
+    | None ->
+      let e = issue_request ctx ~block ~kind:Msg.Read in
+      stall ctx Stats.Read (fun () -> e.Miss_table.data_ready);
+      `Retry
+
+let under_store_limit ctx =
+  ctx.ps.Machine.outstanding_stores < ctx.t.Timing.max_outstanding_stores
+
+(* The outstanding-store limit is enforced by stalling, and any stall can
+   complete or remove a miss entry, so the whole decision is retried from
+   scratch after every stall: bookkeeping mutations happen only on paths
+   with no intervening scheduling point. *)
+let rec store_miss ctx ~addr ~len write =
+  let block = Machine.block_base ctx.m addr in
+  let ns = node_state ctx in
+  let line = Layout.line_of ctx.m.Machine.layout addr in
+  charge ctx ctx.t.Timing.protocol_entry;
+  if ctx.smp then charge ctx ctx.t.Timing.smp_lock;
+  let base = State_table.get ns.Machine.table line in
+  let pdg = State_table.pending_downgrade ns.Machine.table line in
+  if pdg && base = State_table.Exclusive then
+    (* Pre-downgrade state suffices: perform the store under the lock;
+       the downgrade's data snapshot will include it (§3.4.3). *)
+    with_category ctx Stats.Other (fun () ->
+        charge ctx ctx.t.Timing.private_upgrade;
+        write ns.Machine.image)
+  else if (not pdg) && base = State_table.Exclusive then begin
+    if ctx.smp && state_rank (private_state ctx (pid ctx) block) < 2 then begin
+      raise_private ctx (pid ctx) block State_table.Exclusive;
+      ctx.ps.Machine.stats.Stats.private_upgrades <-
+        ctx.ps.Machine.stats.Stats.private_upgrades + 1;
+      with_category ctx Stats.Other (fun () ->
+          charge ctx ctx.t.Timing.private_upgrade)
+    end;
+    write ns.Machine.image
+  end
+  else
+    match Miss_table.find ns.Machine.misses ~block with
+    | Some { Miss_table.data_ready = true; _ } ->
+      (* The entry's data phase is over (it is only draining
+         acknowledgements) and the node no longer holds the block
+         exclusively — it was invalidated or downgraded to shared while
+         the entry lingered. No future reply would merge around a range
+         recorded now, so the store must wait for the entry to retire
+         and run its own ownership transaction. *)
+      stall ctx Stats.Write (fun () ->
+          Option.is_none (Miss_table.find ns.Machine.misses ~block));
+      store_miss ctx ~addr ~len write
+    | Some e ->
+      if
+        Bitset.mem (pid ctx) e.Miss_table.store_procs || under_store_limit ctx
+      then begin
+        if not (Bitset.mem (pid ctx) e.Miss_table.store_procs) then
+          ctx.ps.Machine.outstanding_stores <-
+            ctx.ps.Machine.outstanding_stores + 1;
+        Miss_table.add_store_range e ~off:(addr - block) ~len ~proc:(pid ctx);
+        if e.Miss_table.kind = Msg.Read then
+          e.Miss_table.upgrade_after_reply <- true;
+        write ns.Machine.image
+      end
+      else begin
+        stall ctx Stats.Write (fun () -> under_store_limit ctx);
+        store_miss ctx ~addr ~len write
+      end
+    | None ->
+      if under_store_limit ctx then begin
+        let kind =
+          if base = State_table.Shared then Msg.Upgrade else Msg.Readex
+        in
+        let e =
+          Miss_table.add ns.Machine.misses ~block ~requester:(pid ctx) ~kind
+            ~now:(Engine.now ctx.eng)
+        in
+        set_block_pending ctx ns.Machine.table block true;
+        ctx.ps.Machine.outstanding_stores <-
+          ctx.ps.Machine.outstanding_stores + 1;
+        Miss_table.add_store_range e ~off:(addr - block) ~len ~proc:(pid ctx);
+        (* Apply the store before the request goes out: if the request is
+           handled inline (home is this processor) and replied instantly,
+           the reply merge must already see our bytes in memory. *)
+        write ns.Machine.image;
+        charge ctx ctx.t.Timing.miss_setup;
+        deliver ctx (Machine.home_of_block ctx.m block)
+          (Msg.Req { kind; block })
+      end
+      else begin
+        stall ctx Stats.Write (fun () -> under_store_limit ctx);
+        store_miss ctx ~addr ~len write
+      end
+
+(* ---------------- Batching (§3.4.4) ---------------- *)
+
+type batch_token = {
+  b_lines : int list;
+  b_wpieces : (int * int * int) list;
+      (** batched write ranges split at block boundaries:
+          (block, block-relative offset, length) *)
+}
+
+(* Fetch one line to a sufficient state — a single fetch, no
+   re-verification. If the block is downgraded again while the rest of
+   the batch is being assembled, the batch markers keep its bytes in
+   memory (flag writes deferred) for the batched loads, and batch_end
+   replays the batched stores coherently. *)
+let rec ensure_line ctx line need =
+  let layout = ctx.m.Machine.layout in
+  let addr = Layout.addr_of_line layout line in
+  let block = Machine.block_base ctx.m addr in
+  let ns = node_state ctx in
+  let cat = if need = State_table.Exclusive then Stats.Write else Stats.Read in
+  let base () = State_table.get ns.Machine.table line in
+  (* "Sufficient" requires a settled state: raising the private entry
+     while a downgrade is pending would resurrect it after the downgrade
+     machinery has already lowered it, leaving a stale private-exclusive
+     over an invalidated node copy. *)
+  let sufficient () =
+    state_rank (base ()) >= state_rank need
+    && (not (State_table.pending_downgrade ns.Machine.table line))
+    && not (State_table.pending ns.Machine.table line)
+  in
+  if State_table.pending_downgrade ns.Machine.table line then begin
+    stall ctx cat (fun () ->
+        not (State_table.pending_downgrade ns.Machine.table line));
+    ensure_line ctx line need
+  end
+  else
+    (* Once awaited data has landed, the batch can proceed even if the
+       block was immediately given away again: the batch markers keep
+       the bytes in memory for the batched loads and batch_end replays
+       the batched stores coherently. Insisting that the state remain
+       sufficient would livelock two nodes batching the same block. *)
+    let accept _e =
+      trace ctx block
+        (Printf.sprintf "ensure_line accept line=%d sufficient=%b" line
+           (sufficient ()));
+      (* Whether the data arrived via a reply (landed, stamped flag
+         deferred by our markers) or was already present (an upgrade of
+         a shared copy), the bytes are in memory now and will stay there
+         until batch_end. *)
+      if sufficient () && ctx.smp then
+        raise_private ctx (pid ctx) block need
+    in
+    match Miss_table.find ns.Machine.misses ~block with
+    | Some e
+      when (not e.Miss_table.data_ready) && e.Miss_table.inval_after_reply ->
+      (* Joining after an invalidation was acknowledged: the in-flight
+         data is already stale for us; wait it out and refetch. *)
+      stall ctx cat (fun () ->
+          Option.is_none (Miss_table.find ns.Machine.misses ~block));
+      ensure_line ctx line need
+    | Some e when not e.Miss_table.data_ready ->
+      stall ctx cat (fun () -> e.Miss_table.data_ready);
+      accept e
+    | Some _ when not (sufficient ()) ->
+      (* Ack-draining entry over a re-invalidated block: wait it out. *)
+      stall ctx cat (fun () ->
+          Option.is_none (Miss_table.find ns.Machine.misses ~block));
+      ensure_line ctx line need
+    | Some _ -> if ctx.smp then raise_private ctx (pid ctx) block need
+    | None ->
+      if sufficient () then begin
+        if ctx.smp then raise_private ctx (pid ctx) block need
+      end
+      else begin
+        let kind =
+          if need = State_table.Exclusive then
+            if base () = State_table.Shared then Msg.Upgrade else Msg.Readex
+          else Msg.Read
+        in
+        let e = issue_request ctx ~block ~kind in
+        stall ctx cat (fun () -> e.Miss_table.data_ready);
+        accept e
+      end
+
+let batch_begin ctx ranges =
+  let layout = ctx.m.Machine.layout in
+  let t = ctx.t in
+  (* Collect covered lines with the strongest need over each. *)
+  let needs : (int, State_table.base) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (addr, len, need) ->
+      assert (len > 0);
+      let first = Layout.line_of layout addr in
+      let last = Layout.line_of layout (addr + len - 1) in
+      for l = first to last do
+        let cur =
+          Option.value ~default:State_table.Invalid (Hashtbl.find_opt needs l)
+        in
+        if state_rank need > state_rank cur then Hashtbl.replace needs l need
+      done)
+    ranges;
+  let lines =
+    List.sort compare (Hashtbl.fold (fun l _ acc -> l :: acc) needs [])
+  in
+  let per_line =
+    if ctx.smp then t.Timing.batch_check_per_line_smp
+    else t.Timing.batch_check_per_line_base
+  in
+  if ctx.m.Machine.cfg.Config.checks_enabled then
+    charge ctx
+      ((per_line * List.length lines)
+      + (t.Timing.batch_check_per_range * List.length ranges));
+  ctx.ps.Machine.stats.Stats.checks <-
+    ctx.ps.Machine.stats.Stats.checks + List.length lines;
+  let ns = node_state ctx in
+  (* Mark every covered line before fetching anything, so that blocks
+     invalidated while the handler waits keep their data in memory. *)
+  List.iter
+    (fun l ->
+      let cur =
+        Option.value ~default:0 (Hashtbl.find_opt ns.Machine.batch_lines l)
+      in
+      Hashtbl.replace ns.Machine.batch_lines l (cur + 1))
+    lines;
+  let table = check_table ctx in
+  (match trace_block with
+  | Some b
+    when List.exists
+           (fun l -> Machine.block_base ctx.m (Layout.addr_of_line layout l) = b)
+           lines ->
+    Printf.eprintf "[p%d @%d] batch_begin lines=[%s]\n%!" (pid ctx)
+      (Engine.now ctx.eng)
+      (String.concat ";" (List.map string_of_int lines))
+  | _ -> ());
+  let missing =
+    List.filter
+      (fun l ->
+        state_rank (State_table.get table l)
+        < state_rank (Hashtbl.find needs l))
+      lines
+  in
+  if missing <> [] then begin
+    charge ctx t.Timing.protocol_entry;
+    if ctx.smp then charge ctx t.Timing.smp_lock;
+    List.iter (fun l -> ensure_line ctx l (Hashtbl.find needs l)) missing
+  end;
+  let wpieces =
+    List.concat_map
+      (fun (addr, len, need) ->
+        if need <> State_table.Exclusive then []
+        else begin
+          let pieces = ref [] in
+          let pos = ref addr in
+          while !pos < addr + len do
+            let block = Machine.block_base ctx.m !pos in
+            let bsize = Machine.block_size ctx.m block in
+            let chunk = min (addr + len) (block + bsize) - !pos in
+            pieces := (block, !pos - block, chunk) :: !pieces;
+            pos := !pos + chunk
+          done;
+          !pieces
+        end)
+      ranges
+  in
+  (* Register the raw-write pieces on the node so that data replies for
+     these blocks (a sibling's refetch) merge around the batch's stores,
+     exactly as they merge around non-blocking-store ranges. *)
+  List.iter
+    (fun (block, off, len) ->
+      let cur =
+        Option.value ~default:[] (Hashtbl.find_opt ns.Machine.batch_wranges block)
+      in
+      Hashtbl.replace ns.Machine.batch_wranges block ((off, len) :: cur))
+    wpieces;
+  { b_lines = lines; b_wpieces = wpieces }
+
+(* Replay a batched store piece through the protocol if its block may
+   have lost exclusivity while the batch ran (conservatively detected
+   through the node downgrade epoch): the bytes are still in memory
+   (flag writes were deferred by the batch markers and data replies
+   merged around the registered ranges), so pushing exactly the declared
+   piece through the ordinary non-blocking store path re-serializes the
+   writes with any concurrent owner's copy. *)
+let replay_wpiece ctx (block, off, len) =
+  let layout = ctx.m.Machine.layout in
+  let ns = node_state ctx in
+  let line = Layout.line_of layout (block + off) in
+  (* Once the registered ranges protect the bytes from being merged
+     over, holding the block exclusively at batch end implies our copy
+     (including the raw batched stores) is the authoritative one; replay
+     is needed only when exclusivity was not retained. *)
+  let needs_replay =
+    State_table.get ns.Machine.table line <> State_table.Exclusive
+    || State_table.pending ns.Machine.table line
+    || State_table.pending_downgrade ns.Machine.table line
+  in
+  if needs_replay then begin
+    let at = block + off in
+    let bytes = Image.snapshot ns.Machine.image ~addr:at ~len in
+    store_miss ctx ~addr:at ~len (fun img ->
+        Image.write_bytes img ~addr:at bytes)
+  end
+
+let unregister_wpiece ctx (block, off, len) =
+  let ns = node_state ctx in
+  match Hashtbl.find_opt ns.Machine.batch_wranges block with
+  | None -> assert false
+  | Some ranges ->
+    let rec remove_one = function
+      | [] -> []
+      | r :: rest -> if r = (off, len) then rest else r :: remove_one rest
+    in
+    (match remove_one ranges with
+    | [] -> Hashtbl.remove ns.Machine.batch_wranges block
+    | rest -> Hashtbl.replace ns.Machine.batch_wranges block rest)
+
+let batch_end ctx token =
+  let ns = node_state ctx in
+  (match trace_block with
+  | Some b
+    when List.exists
+           (fun l ->
+             Machine.block_base ctx.m
+               (Layout.addr_of_line ctx.m.Machine.layout l)
+             = b)
+           token.b_lines ->
+    Printf.eprintf "[p%d @%d] batch_end\n%!" (pid ctx) (Engine.now ctx.eng)
+  | _ -> ());
+  List.iter (replay_wpiece ctx) token.b_wpieces;
+  List.iter (unregister_wpiece ctx) token.b_wpieces;
+  List.iter
+    (fun l ->
+      match Hashtbl.find_opt ns.Machine.batch_lines l with
+      | Some 1 -> Hashtbl.remove ns.Machine.batch_lines l
+      | Some n -> Hashtbl.replace ns.Machine.batch_lines l (n - 1)
+      | None -> assert false)
+    token.b_lines;
+  (* Under SMP, a private entry raised for the batch may now overstate
+     the node state (the block was downgraded mid-batch). Private state
+     is maintained block-uniformly, so the re-alignment must cover every
+     line of every touched block — lowering only the batch's own lines
+     would leave stale Exclusive entries on the block's other lines. *)
+  if ctx.smp then begin
+    let layout = ctx.m.Machine.layout in
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun l ->
+        let block = Machine.block_base ctx.m (Layout.addr_of_line layout l) in
+        if not (Hashtbl.mem seen block) then begin
+          Hashtbl.replace seen block ();
+          let node_st =
+            State_table.get ns.Machine.table (Layout.line_of layout block)
+          in
+          lower_private ctx (pid ctx) block node_st
+        end)
+      token.b_lines
+  end;
+  (* Perform flag writes deferred on blocks that are now batch-free and
+     still invalid (a refetch cancels the deferred stamp). *)
+  let layout = ctx.m.Machine.layout in
+  let ready =
+    Hashtbl.fold
+      (fun block () acc ->
+        if block_in_active_batch ctx block then acc else block :: acc)
+      ns.Machine.deferred_flags []
+  in
+  List.iter
+    (fun block ->
+      Hashtbl.remove ns.Machine.deferred_flags block;
+      if
+        State_table.get ns.Machine.table (Layout.line_of layout block)
+        = State_table.Invalid
+      then write_flag_now ctx block)
+    ready
+
+(* ---------------- Release consistency & synchronization ---------------- *)
+
+let release_stores ctx =
+  let ns = node_state ctx in
+  charge ctx ctx.t.Timing.memory_barrier;
+  let ids = Miss_table.outstanding_ids ns.Machine.misses in
+  let writes =
+    List.filter
+      (fun id ->
+        match Miss_table.find_id ns.Machine.misses id with
+        | Some e ->
+          e.Miss_table.kind <> Msg.Read
+          || e.Miss_table.upgrade_after_reply
+          || e.Miss_table.store_ranges <> []
+        | None -> false)
+      ids
+  in
+  stall ctx Stats.Write (fun () ->
+      List.for_all
+        (fun id -> Miss_table.find_id ns.Machine.misses id = None)
+        writes)
+
+let acquire_fence ctx =
+  (* §3.4.4 footnote: stall at an acquire while any block on the node has
+     a deferred invalid-flag write outstanding. *)
+  let ns = node_state ctx in
+  charge ctx ctx.t.Timing.memory_barrier;
+  stall ctx Stats.Sync (fun () -> Hashtbl.length ns.Machine.deferred_flags = 0)
+
+let lock_acquire ctx lock =
+  acquire_fence ctx;
+  with_category ctx Stats.Sync (fun () ->
+      deliver ctx (Machine.lock_home ctx.m lock) (Msg.Lock_req { lock }));
+  stall ctx Stats.Sync (fun () -> Hashtbl.mem ctx.ps.Machine.granted lock);
+  Hashtbl.remove ctx.ps.Machine.granted lock
+
+let lock_release ctx lock =
+  release_stores ctx;
+  with_category ctx Stats.Sync (fun () ->
+      deliver ctx (Machine.lock_home ctx.m lock) (Msg.Lock_release { lock }))
+
+let local_barrier ctx barrier =
+  let key = (barrier, node ctx) in
+  match Hashtbl.find_opt ctx.m.Machine.barrier_local key with
+  | Some bs -> bs
+  | None ->
+    let bs = { Machine.arrived = 0; generation = 0 } in
+    Hashtbl.replace ctx.m.Machine.barrier_local key bs;
+    bs
+
+let barrier_wait ctx barrier =
+  release_stores ctx;
+  let hierarchical =
+    ctx.m.Machine.cfg.Config.smp_sync && ctx.m.Machine.cfg.Config.clustering > 1
+  in
+  if hierarchical then begin
+    (* 5 extension: arrivals combine in the node's shared memory; only
+       the last processor of each node sends a message, and the release
+       is broadcast once per node and fanned out through shared memory. *)
+    let bs = local_barrier ctx barrier in
+    let before = bs.Machine.generation in
+    charge ctx (ctx.t.Timing.memory_barrier + ctx.t.Timing.sync_manager);
+    bs.Machine.arrived <- bs.Machine.arrived + 1;
+    if bs.Machine.arrived = List.length (Config.procs_of_node ctx.m.Machine.cfg (node ctx))
+    then begin
+      bs.Machine.arrived <- 0;
+      with_category ctx Stats.Sync (fun () ->
+          deliver ctx (Machine.barrier_home ctx.m barrier)
+            (Msg.Barrier_arrive { barrier }))
+    end;
+    stall ctx Stats.Sync (fun () -> bs.Machine.generation > before);
+    acquire_fence ctx
+  end
+  else begin
+    let seen () =
+      Option.value ~default:0 (Hashtbl.find_opt ctx.ps.Machine.barrier_seen barrier)
+    in
+    let before = seen () in
+    with_category ctx Stats.Sync (fun () ->
+        deliver ctx (Machine.barrier_home ctx.m barrier) (Msg.Barrier_arrive { barrier }));
+    stall ctx Stats.Sync (fun () -> seen () > before);
+    acquire_fence ctx
+  end
+
+(* ---------------- Post-run drain ---------------- *)
+
+let drain ctx =
+  ctx.ps.Machine.finished <- true;
+  ctx.ps.Machine.app_finish_cycles <- Engine.now ctx.eng;
+  while not (Machine.quiescent ctx.m) do
+    poll ctx;
+    Engine.advance ctx.eng ctx.t.Timing.stall_gap
+  done

@@ -1,0 +1,85 @@
+type category = Task | Read | Write | Sync | Message | Other
+
+let categories = [ Task; Read; Write; Sync; Message; Other ]
+
+let category_name = function
+  | Task -> "task"
+  | Read -> "read"
+  | Write -> "write"
+  | Sync -> "sync"
+  | Message -> "message"
+  | Other -> "other"
+
+let category_index = function
+  | Task -> 0
+  | Read -> 1
+  | Write -> 2
+  | Sync -> 3
+  | Message -> 4
+  | Other -> 5
+
+type miss_class = { kind : Msg.req_kind; three_hop : bool }
+
+let miss_index { kind; three_hop } =
+  let k = match kind with Msg.Read -> 0 | Msg.Readex -> 1 | Msg.Upgrade -> 2 in
+  (2 * k) + if three_hop then 1 else 0
+
+type t = {
+  mutable cycles : int array;
+  mutable misses : int array;
+  mutable private_upgrades : int;
+  mutable false_misses : int;
+  mutable read_latency_cycles : int;
+  mutable read_latency_count : int;
+  mutable downgrades_sent : int;
+  downgrade_events : Shasta_util.Histogram.t;
+  mutable checks : int;
+}
+
+let create () =
+  {
+    cycles = Array.make 6 0;
+    misses = Array.make 6 0;
+    private_upgrades = 0;
+    false_misses = 0;
+    read_latency_cycles = 0;
+    read_latency_count = 0;
+    downgrades_sent = 0;
+    downgrade_events = Shasta_util.Histogram.create ();
+    checks = 0;
+  }
+
+let add_cycles t c n = t.cycles.(category_index c) <- t.cycles.(category_index c) + n
+let cycles t c = t.cycles.(category_index c)
+let total_cycles t = Array.fold_left ( + ) 0 t.cycles
+let record_miss t m = t.misses.(miss_index m) <- t.misses.(miss_index m) + 1
+let miss_count t m = t.misses.(miss_index m)
+let total_misses t = Array.fold_left ( + ) 0 t.misses
+
+let record_read_latency t c =
+  t.read_latency_cycles <- t.read_latency_cycles + c;
+  t.read_latency_count <- t.read_latency_count + 1
+
+let mean_read_latency_us t =
+  if t.read_latency_count = 0 then 0.
+  else
+    Timing.us_of_cycles t.read_latency_cycles /. float_of_int t.read_latency_count
+
+let aggregate ts =
+  let r = create () in
+  List.iter
+    (fun t ->
+      Array.iteri (fun i v -> r.cycles.(i) <- r.cycles.(i) + v) t.cycles;
+      Array.iteri (fun i v -> r.misses.(i) <- r.misses.(i) + v) t.misses;
+      r.private_upgrades <- r.private_upgrades + t.private_upgrades;
+      r.false_misses <- r.false_misses + t.false_misses;
+      r.read_latency_cycles <- r.read_latency_cycles + t.read_latency_cycles;
+      r.read_latency_count <- r.read_latency_count + t.read_latency_count;
+      r.downgrades_sent <- r.downgrades_sent + t.downgrades_sent;
+      Shasta_util.Histogram.(
+        List.iter
+          (fun k -> add_many r.downgrade_events k (count t.downgrade_events k))
+          (keys t.downgrade_events));
+      r.checks <- r.checks + t.checks)
+    ts;
+  r

@@ -1,0 +1,57 @@
+type t = {
+  load_check_flag : int;
+  load_check_flag_float_base : int;
+  load_check_flag_float_smp : int;
+  store_check : int;
+  batch_check_per_line_base : int;
+  batch_check_per_line_smp : int;
+  batch_check_per_range : int;
+  poll : int;
+  poll_interval_ops : int;
+  protocol_entry : int;
+  miss_setup : int;
+  handler_base : int;
+  handler_home : int;
+  handler_data_apply : int;
+  handler_downgrade : int;
+  downgrade_initiate : int;
+  downgrade_send : int;
+  remote_send : int;
+  smp_lock : int;
+  private_upgrade : int;
+  memory_barrier : int;
+  sync_manager : int;
+  stall_gap : int;
+  max_outstanding_stores : int;
+}
+
+let default =
+  {
+    load_check_flag = 2;
+    load_check_flag_float_base = 3;
+    load_check_flag_float_smp = 8;
+    store_check = 7;
+    batch_check_per_line_base = 3;
+    batch_check_per_line_smp = 7;
+    batch_check_per_range = 12;
+    poll = 3;
+    poll_interval_ops = 4;
+    protocol_entry = 60;
+    miss_setup = 390;
+    handler_base = 300;
+    handler_home = 640;
+    handler_data_apply = 550;
+    handler_downgrade = 600;
+    downgrade_initiate = 450;
+    downgrade_send = 1200;
+    remote_send = 150;
+    smp_lock = 450;
+    private_upgrade = 330;
+    memory_barrier = 10;
+    sync_manager = 180;
+    stall_gap = 60;
+    max_outstanding_stores = 4;
+  }
+
+let cycles_per_us = 300.
+let us_of_cycles c = float_of_int c /. cycles_per_us

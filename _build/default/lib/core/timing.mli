@@ -1,0 +1,71 @@
+(** Cycle-cost parameters of the simulated system.
+
+    All values are 300 MHz processor cycles (1 us = 300 cycles), chosen
+    to match the measurements reported in the paper: inline-check costs
+    from §2.2-2.3 and §3.4.1, protocol-operation costs calibrated so the
+    §4.1 microbenchmarks land near the reported latencies (20 us remote /
+    11 us intra-node 64-byte fetch; +10 us for the first downgrade and
+    +5 us per additional one). *)
+
+type t = {
+  (* Inline access checks. *)
+  load_check_flag : int;
+      (** flag-based load check when the value is not the flag (§2.3) *)
+  load_check_flag_float_base : int;
+      (** Base-Shasta float-load flag check: extra integer load *)
+  load_check_flag_float_smp : int;
+      (** SMP-Shasta float-load flag check: store to stack + integer
+          load, needed to make the check atomic (§3.4.1) *)
+  store_check : int;  (** state-table store check (Figure 1) *)
+  batch_check_per_line_base : int;
+      (** Base-Shasta batched check, per line: flag compare for load-only
+          batches *)
+  batch_check_per_line_smp : int;
+      (** SMP-Shasta batched check, per line: always via the private
+          state table (§3.4.1) *)
+  batch_check_per_range : int;
+      (** fixed cost per batched base register: address computation and
+          the entry/exit of the batched check sequence *)
+  poll : int;  (** polling for messages at a loop backedge *)
+  poll_interval_ops : int;
+      (** simulated accesses between implicit polls (loop backedges) *)
+  (* Protocol operations. *)
+  protocol_entry : int;
+      (** entering the protocol: saving registers etc. (task time) *)
+  miss_setup : int;  (** allocating a miss entry and sending the request *)
+  handler_base : int;  (** dispatching any incoming message *)
+  handler_home : int;  (** directory lookup + action at the home *)
+  handler_data_apply : int;  (** installing reply data, updating state *)
+  handler_downgrade : int;
+      (** processing an intra-node downgrade message (includes the
+          private-state-table update) *)
+  downgrade_initiate : int;
+      (** inspecting sibling private tables *)
+  downgrade_send : int;
+      (** per downgrade message sent: the sends are serialized at the
+          initiating processor, which is what makes each additional
+          downgrade add ~5 us to the miss latency (§4.4) *)
+  remote_send : int;
+      (** extra sender-side overhead for an inter-node message (Memory
+          Channel doorbell/DMA setup) on top of the wire model *)
+  smp_lock : int;
+      (** acquiring+releasing the per-line lock around a protocol
+          operation, including memory barriers — SMP-Shasta only *)
+  private_upgrade : int;
+      (** miss satisfied from the node's shared state table: upgrading
+          the processor's private entry ("other" time) *)
+  memory_barrier : int;  (** one Alpha MB instruction *)
+  sync_manager : int;  (** lock/barrier manager bookkeeping per message *)
+  stall_gap : int;  (** spin granularity while stalled, between polls *)
+  max_outstanding_stores : int;
+      (** per-processor limit on outstanding store misses; stores stall
+          beyond it ("protocol limitations on the number of outstanding
+          stores", §4.3) *)
+}
+
+val default : t
+
+val cycles_per_us : float
+(** 300. — cycle/microsecond conversion for reporting. *)
+
+val us_of_cycles : int -> float

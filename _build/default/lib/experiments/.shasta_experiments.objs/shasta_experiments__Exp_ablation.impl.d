@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: List Report Runner Shasta_core Shasta_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_breakdown.ml: List Report Runner Shasta_apps Shasta_core Shasta_util String

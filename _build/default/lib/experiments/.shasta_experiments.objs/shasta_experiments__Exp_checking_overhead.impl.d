@@ -1,0 +1,1 @@
+lib/experiments/exp_checking_overhead.ml: List Printf Report Runner Shasta_apps Shasta_util

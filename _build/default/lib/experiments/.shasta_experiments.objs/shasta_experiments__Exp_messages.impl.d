@@ -1,0 +1,1 @@
+lib/experiments/exp_messages.ml: List Report Runner Shasta_apps Shasta_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_microbench.ml: Array List Printf Report Shasta_core Shasta_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_misses.ml: List Printf Report Runner Shasta_apps Shasta_core Shasta_util

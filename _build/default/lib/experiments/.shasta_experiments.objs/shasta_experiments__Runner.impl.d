@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Hashtbl Printf Shasta_apps Shasta_core

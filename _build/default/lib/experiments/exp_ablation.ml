@@ -1,0 +1,55 @@
+module Table = Shasta_util.Text_table
+module Stats = Shasta_core.Stats
+
+let default_apps = [ "ocean"; "lu"; "water-nsq"; "water-sp"; "volrend" ]
+
+let variants =
+  [
+    ("SMP-Shasta (paper)", false, false);
+    ("+ hierarchical barriers", true, false);
+    ("+ shared directory", false, true);
+    ("+ both", true, true);
+  ]
+
+let render ?(apps = default_apps) ?(scale = 1.0) () =
+  let header =
+    [ "app"; "configuration"; "time vs paper cfg"; "sync share"; "local msgs"; "remote msgs" ]
+  in
+  let rows =
+    List.concat_map
+      (fun app ->
+        let base_spec = Runner.smp ~scale app 16 ~clustering:4 in
+        let base = Runner.run base_spec in
+        List.map
+          (fun (label, smp_sync, share_directory) ->
+            let r =
+              Runner.run { base_spec with Runner.smp_sync; share_directory }
+            in
+            let rel =
+              float_of_int r.Runner.parallel_cycles
+              /. float_of_int base.Runner.parallel_cycles
+            in
+            let sync_share =
+              let total = Stats.total_cycles r.Runner.stats in
+              if total = 0 then 0.0
+              else
+                float_of_int (Stats.cycles r.Runner.stats Stats.Sync)
+                /. float_of_int total
+            in
+            [
+              app;
+              label;
+              Report.pct rel;
+              Report.pct sync_share;
+              string_of_int r.Runner.local_msgs;
+              string_of_int r.Runner.remote_msgs;
+            ])
+          variants)
+      apps
+  in
+  Report.section
+    "Ablation: the paper's 5 extensions (16 processors, clustering 4)"
+    (Table.render ~header rows
+    ^ "\n\nHierarchical barriers combine arrivals per node (one message per\n\
+       node instead of per processor); the shared directory removes the\n\
+       intra-node hop when requester and home are colocated.")

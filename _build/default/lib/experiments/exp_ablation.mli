@@ -1,0 +1,11 @@
+(** Ablation of the paper's §5 planned extensions.
+
+    The paper's implementation leaves three optimizations unexploited and
+    names them as future work: hierarchical synchronization primitives
+    that use the SMP hardware, and directory-state sharing that removes
+    the intra-node hop when the requester and home are colocated. Both
+    are implemented behind configuration flags; this experiment measures
+    each against the paper's baseline SMP-Shasta configuration on
+    16-processor, clustering-4 runs. *)
+
+val render : ?apps:string list -> ?scale:float -> unit -> string

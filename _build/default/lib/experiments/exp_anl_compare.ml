@@ -1,0 +1,46 @@
+module Table = Shasta_util.Text_table
+module Registry = Shasta_apps.Registry
+module Config = Shasta_core.Config
+
+let spec ~checks ~scale app =
+  {
+    Runner.app;
+    vg = false;
+    scale;
+    variant = Config.Smp;
+    nprocs = 4;
+    clustering = 4;
+    checks;
+    smp_sync = false;
+    share_directory = false;
+  }
+
+let render ?(scale = 1.0) () =
+  let slowdowns = ref [] in
+  let rows =
+    List.map
+      (fun app ->
+        let hw = Runner.run (spec ~checks:false ~scale app) in
+        let smp = Runner.run (spec ~checks:true ~scale app) in
+        let slow =
+          float_of_int (smp.Runner.parallel_cycles - hw.Runner.parallel_cycles)
+          /. float_of_int hw.Runner.parallel_cycles
+        in
+        slowdowns := slow :: !slowdowns;
+        [
+          app;
+          Report.seconds hw.Runner.parallel_cycles;
+          Report.seconds smp.Runner.parallel_cycles;
+          Report.pct slow;
+        ])
+      Registry.names
+  in
+  let avg =
+    List.fold_left ( +. ) 0.0 !slowdowns /. float_of_int (List.length !slowdowns)
+  in
+  Report.section
+    "4.3: SMP-Shasta (4 processors, clustering 4) vs hardware coherence"
+    (Table.render
+       ~header:[ "app"; "hardware (ANL approx)"; "SMP-Shasta"; "slowdown" ]
+       rows
+    ^ Printf.sprintf "\n\naverage slowdown: %s (paper: 12.7%%)" (Report.pct avg))

@@ -1,0 +1,10 @@
+(** §4.3: SMP-Shasta on 4 processors (clustering 4) versus hardware
+    cache coherence on one SMP.
+
+    The hardware-coherent reference is approximated by the same
+    clustering-4 run with the inline checks disabled — communication is
+    then entirely through the node's coherent memory, as with the ANL
+    macros on the real AlphaServer. The paper reports SMP-Shasta to be
+    on average 12.7% slower, mostly from the checking overhead. *)
+
+val render : ?scale:float -> unit -> string

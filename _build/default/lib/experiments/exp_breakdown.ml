@@ -1,0 +1,69 @@
+module Table = Shasta_util.Text_table
+module Registry = Shasta_apps.Registry
+module Stats = Shasta_core.Stats
+
+let configs ?vg ?scale app n =
+  [
+    ("Base", Runner.base ?vg ?scale app n);
+    ("SMP-1", Runner.smp ?vg ?scale app n ~clustering:1);
+    ("SMP-2", Runner.smp ?vg ?scale app n ~clustering:2);
+    ("SMP-4", Runner.smp ?vg ?scale app n ~clustering:4);
+  ]
+
+(* Normalized stacked segments: category fractions of aggregate cycles,
+   scaled by this run's parallel time relative to the Base run's. *)
+let segments base_cycles (r : Runner.result) =
+  let total = float_of_int (Stats.total_cycles r.Runner.stats) in
+  let rel =
+    float_of_int r.Runner.parallel_cycles /. float_of_int base_cycles
+  in
+  List.map
+    (fun cat ->
+      let f =
+        if total = 0.0 then 0.0
+        else float_of_int (Stats.cycles r.Runner.stats cat) /. total
+      in
+      100.0 *. f *. rel)
+    Stats.categories
+
+let render ?(vg = false) ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
+  let apps = if vg then Registry.table2 else Registry.names in
+  let header =
+    [ "app"; "procs"; "config" ]
+    @ List.map Stats.category_name Stats.categories
+    @ [ "total"; "bar" ]
+  in
+  let rows =
+    List.concat_map
+      (fun app ->
+        List.concat_map
+          (fun n ->
+            let cfgs = configs ~vg ~scale app n in
+            let base = Runner.run (List.assoc "Base" cfgs) in
+            List.map
+              (fun (label, spec) ->
+                let r = Runner.run spec in
+                let segs = segments base.Runner.parallel_cycles r in
+                let total = List.fold_left ( +. ) 0.0 segs in
+                let bar =
+                  Shasta_util.Text_table.stacked_bar ~width:30
+                    (List.map2
+                       (fun cat v -> ((Stats.category_name cat).[0], v /. 100.0))
+                       Stats.categories segs)
+                in
+                [ app; string_of_int n; label ]
+                @ List.map Report.f1 segs
+                @ [ Report.f1 total; bar ])
+              cfgs)
+          procs)
+      apps
+  in
+  let title =
+    if vg then
+      "Figure 5: execution-time breakdown with variable granularity (Base = 100)"
+    else "Figure 4: execution-time breakdown (Base = 100)"
+  in
+  Report.section title
+    (Table.render ~header rows
+    ^ "\n\nSegments: t=task r=read w=write s=sync m=message o=other; \
+       total is normalized to the Base-Shasta run of the same processor count.")

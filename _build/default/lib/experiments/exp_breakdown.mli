@@ -1,0 +1,11 @@
+(** Figures 4 and 5: execution-time breakdowns of 8- and 16-processor
+    runs.
+
+    For each application the Base-Shasta run is normalized to 100 and
+    the SMP-Shasta runs at clusterings of 1, 2 and 4 are shown relative
+    to it, split into the paper's six categories (task, read, write,
+    synchronization, message, other). Figure 5 is the same view with
+    the variable-granularity allocation hints enabled ([vg = true],
+    six applications). *)
+
+val render : ?vg:bool -> ?procs:int list -> ?scale:float -> unit -> string

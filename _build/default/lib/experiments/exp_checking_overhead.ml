@@ -1,0 +1,55 @@
+module Table = Shasta_util.Text_table
+module Registry = Shasta_apps.Registry
+
+let render ?(scale = 1.0) () =
+  let rows =
+    List.map
+      (fun app ->
+        let seq = Runner.run (Runner.sequential ~scale app) in
+        let base = Runner.run (Runner.base ~scale app 1) in
+        let smp =
+          Runner.run (Runner.smp ~scale app 1 ~clustering:1)
+        in
+        let ov r =
+          float_of_int (r.Runner.parallel_cycles - seq.Runner.parallel_cycles)
+          /. float_of_int seq.Runner.parallel_cycles
+        in
+        [
+          app;
+          seq.Runner.workload;
+          Report.seconds seq.Runner.parallel_cycles;
+          Printf.sprintf "%s (+%s)"
+            (Report.seconds base.Runner.parallel_cycles)
+            (Report.pct (ov base));
+          Printf.sprintf "%s (+%s)"
+            (Report.seconds smp.Runner.parallel_cycles)
+            (Report.pct (ov smp));
+        ])
+      Registry.names
+  in
+  let avg which =
+    let total =
+      List.fold_left
+        (fun acc app ->
+          let seq = Runner.run (Runner.sequential ~scale app) in
+          let r = Runner.run (which app) in
+          acc
+          +. (float_of_int (r.Runner.parallel_cycles - seq.Runner.parallel_cycles)
+             /. float_of_int seq.Runner.parallel_cycles))
+        0.0 Registry.names
+    in
+    total /. float_of_int (List.length Registry.names)
+  in
+  let body =
+    Table.render
+      ~header:
+        [ "app"; "problem"; "sequential"; "Base-Shasta checks"; "SMP-Shasta checks" ]
+      rows
+  in
+  Report.section
+    "Table 1: sequential times and checking overheads"
+    (body
+    ^ Printf.sprintf
+        "\n\naverage overhead: Base-Shasta %s, SMP-Shasta %s (paper: 14.7%% / 24.0%%)"
+        (Report.pct (avg (fun app -> Runner.base ~scale app 1)))
+        (Report.pct (avg (fun app -> Runner.smp ~scale app 1 ~clustering:1))))

@@ -1,0 +1,9 @@
+(** Table 1: sequential times and miss-check overheads.
+
+    For each application: the simulated sequential execution time
+    without inline checks, and the single-processor slowdown when the
+    Base-Shasta and SMP-Shasta checks are inserted. The paper reports
+    averages of 14.7% (Base) and 24.0% (SMP), with Raytrace and the two
+    Water codes most affected by the SMP changes of §3.4.1. *)
+
+val render : ?scale:float -> unit -> string

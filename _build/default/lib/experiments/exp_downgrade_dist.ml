@@ -1,0 +1,42 @@
+module Table = Shasta_util.Text_table
+module Registry = Shasta_apps.Registry
+module Histogram = Shasta_util.Histogram
+
+let render ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
+  let header =
+    [ "app"; "procs"; "downgrades"; "0 msgs"; "1 msg"; "2 msgs"; "3 msgs"; "mean" ]
+  in
+  let rows =
+    List.concat_map
+      (fun app ->
+        List.map
+          (fun n ->
+            let r = Runner.run (Runner.smp ~scale app n ~clustering:4) in
+            let hist = r.Runner.stats.Shasta_core.Stats.downgrade_events in
+            let total = Histogram.total hist in
+            let frac k = Report.pct (Histogram.fraction hist k) in
+            let mean =
+              if total = 0 then 0.0
+              else
+                float_of_int
+                  (List.fold_left
+                     (fun acc k -> acc + (k * Histogram.count hist k))
+                     0 (Histogram.keys hist))
+                /. float_of_int total
+            in
+            [
+              app;
+              string_of_int n;
+              string_of_int total;
+              frac 0;
+              frac 1;
+              frac 2;
+              frac 3;
+              Report.fx mean;
+            ])
+          procs)
+      Registry.names
+  in
+  Report.section
+    "Figure 8: downgrade-message count distribution (SMP-Shasta, clustering 4)"
+    (Table.render ~header rows)

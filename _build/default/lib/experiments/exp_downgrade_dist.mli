@@ -1,0 +1,7 @@
+(** Figure 8: distribution of the number of downgrade messages sent per
+    block downgrade, for 8- and 16-processor SMP-Shasta runs with a
+    clustering of 4. The private state tables make most downgrades free
+    (0 messages) or cheap (1); Water's migratory molecule records are
+    the paper's notable three-message outlier. *)
+
+val render : ?procs:int list -> ?scale:float -> unit -> string

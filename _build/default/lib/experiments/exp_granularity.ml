@@ -1,0 +1,49 @@
+module Table = Shasta_util.Text_table
+module Registry = Shasta_apps.Registry
+
+(* Data structures and block sizes of the paper's Table 2. *)
+let hints =
+  [
+    ("barnes", ("cell array", 512));
+    ("fmm", ("box array", 256));
+    ("lu", ("matrix array", 128));
+    ("lu-contig", ("matrix block", 2048));
+    ("volrend", ("opacity/emission maps", 1024));
+    ("water-nsq", ("molecule array", 2048));
+  ]
+
+let render ?(scale = 1.0) () =
+  let header =
+    [
+      "app";
+      "data structure";
+      "block size";
+      "Base @64B";
+      "Base @specified";
+      "SMP-4 @specified";
+    ]
+  in
+  let rows =
+    List.map
+      (fun app ->
+        let structure, bytes = List.assoc app hints in
+        let plain = Runner.speedup (Runner.base ~scale app 16) in
+        let vg = Runner.speedup (Runner.base ~vg:true ~scale app 16) in
+        let smp_vg =
+          Runner.speedup (Runner.smp ~vg:true ~scale app 16 ~clustering:4)
+        in
+        [
+          app;
+          structure;
+          string_of_int bytes ^ "B";
+          Report.fx plain;
+          Report.fx vg;
+          Report.fx smp_vg;
+        ])
+      Registry.table2
+  in
+  Report.section
+    "Table 2: variable block size in Base-Shasta (16 processors)"
+    (Table.render ~header rows
+    ^ "\n\nThe last column combines the granularity hints with SMP-Shasta\n\
+       clustering - the configuration the paper reports as uniformly best.")

@@ -1,0 +1,7 @@
+(** Table 2: effect of variable coherence granularity in Base-Shasta.
+
+    Sixteen-processor speedups for the six applications whose key data
+    structures carry an allocation-time block-size hint, with the
+    default 64-byte blocks and with the specified granularity. *)
+
+val render : ?scale:float -> unit -> string

@@ -1,0 +1,39 @@
+module Table = Shasta_util.Text_table
+module Registry = Shasta_apps.Registry
+
+let render ?(scale = 2.0) () =
+  let rows =
+    List.map
+      (fun app ->
+        let seq = Runner.run (Runner.sequential ~scale app) in
+        let ov spec =
+          let r = Runner.run spec in
+          Report.pct
+            (float_of_int (r.Runner.parallel_cycles - seq.Runner.parallel_cycles)
+            /. float_of_int seq.Runner.parallel_cycles)
+        in
+        [
+          app;
+          seq.Runner.workload;
+          Report.seconds seq.Runner.parallel_cycles;
+          ov (Runner.base ~scale app 1);
+          ov (Runner.smp ~scale app 1 ~clustering:1);
+          Report.f1 (Runner.speedup (Runner.base ~scale app 16));
+          Report.f1 (Runner.speedup (Runner.smp ~scale app 16 ~clustering:4));
+        ])
+      Registry.table3
+  in
+  Report.section
+    "Table 3: larger problem sizes (2x scale, 64-byte lines)"
+    (Table.render
+       ~header:
+         [
+           "app";
+           "problem";
+           "seq time";
+           "Base ovh";
+           "SMP ovh";
+           "16p Base";
+           "16p SMP";
+         ]
+       rows)

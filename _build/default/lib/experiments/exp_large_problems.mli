@@ -1,0 +1,8 @@
+(** Table 3: larger problem sizes (2× the default scale).
+
+    Sequential time, checking overheads and 16-processor speedups for
+    Base-Shasta and SMP-Shasta (clustering 4) — demonstrating that both
+    protocols improve with problem size and that SMP-Shasta's advantage
+    persists (64-byte lines, no granularity hints). *)
+
+val render : ?scale:float -> unit -> string

@@ -1,0 +1,46 @@
+module Table = Shasta_util.Text_table
+module Registry = Shasta_apps.Registry
+
+let render ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
+  let header =
+    [ "app"; "procs"; "config"; "remote"; "local"; "downgrade"; "total"; "% of Base" ]
+  in
+  let rows =
+    List.concat_map
+      (fun app ->
+        List.concat_map
+          (fun n ->
+            let specs =
+              [
+                ("Base", Runner.base ~scale app n);
+                ("SMP-2", Runner.smp ~scale app n ~clustering:2);
+                ("SMP-4", Runner.smp ~scale app n ~clustering:4);
+              ]
+            in
+            let base = Runner.run (List.assoc "Base" specs) in
+            let base_total = base.Runner.local_msgs + base.Runner.remote_msgs in
+            List.map
+              (fun (label, spec) ->
+                let r = Runner.run spec in
+                let total =
+                  r.Runner.local_msgs + r.Runner.remote_msgs
+                  + r.Runner.downgrade_msgs
+                in
+                [
+                  app;
+                  string_of_int n;
+                  label;
+                  string_of_int r.Runner.remote_msgs;
+                  string_of_int r.Runner.local_msgs;
+                  string_of_int r.Runner.downgrade_msgs;
+                  string_of_int total;
+                  (if base_total = 0 then "-"
+                   else
+                     Report.pct (float_of_int total /. float_of_int base_total));
+                ])
+              specs)
+          procs)
+      Registry.names
+  in
+  Report.section "Figure 7: protocol messages (remote / local / downgrade)"
+    (Table.render ~header rows)

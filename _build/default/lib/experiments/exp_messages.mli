@@ -1,0 +1,5 @@
+(** Figure 7: protocol messages in 8- and 16-processor runs, split into
+    remote (inter-node), local (intra-node, excluding downgrades) and
+    downgrade messages, normalized to the Base-Shasta total. *)
+
+val render : ?procs:int list -> ?scale:float -> unit -> string

@@ -1,0 +1,88 @@
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module Stats = Shasta_core.Stats
+module Table = Shasta_util.Text_table
+
+let nblocks = 32
+
+(* One 64-byte block per measurement so every read is a cold miss. *)
+let alloc_blocks h ~home =
+  List.init nblocks (fun _ -> Dsm.alloc h ~block_size:64 ~home 64)
+
+let mean_read_latency_us h reader =
+  Stats.mean_read_latency_us (Dsm.proc_stats h).(reader)
+
+(* Latency of a read served directly by a (remote or colocated) home. *)
+let two_hop ~same_node () =
+  let cfg = Config.create ~variant:Config.Base ~nprocs:8 ~procs_per_node:4 () in
+  let h = Dsm.create cfg in
+  let home = if same_node then 1 else 4 in
+  let blocks = alloc_blocks h ~home in
+  let b = Dsm.alloc_barrier h in
+  Dsm.run h (fun ctx ->
+      if Dsm.pid ctx = 0 then
+        List.iter (fun a -> ignore (Dsm.load_float ctx a)) blocks;
+      Dsm.barrier ctx b);
+  mean_read_latency_us h 0
+
+(* Three hops: the home (proc 4) forwards to the owner (proc 8, on a
+   third physical node). *)
+let three_hop () =
+  let cfg = Config.create ~variant:Config.Base ~nprocs:12 ~procs_per_node:4 () in
+  let h = Dsm.create cfg in
+  let blocks = alloc_blocks h ~home:4 in
+  let b = Dsm.alloc_barrier h in
+  Dsm.run h (fun ctx ->
+      if Dsm.pid ctx = 8 then
+        List.iter (fun a -> Dsm.store_float ctx a 1.0) blocks;
+      Dsm.barrier ctx b;
+      if Dsm.pid ctx = 0 then
+        List.iter (fun a -> ignore (Dsm.load_float ctx a)) blocks;
+      Dsm.barrier ctx b);
+  mean_read_latency_us h 0
+
+(* Read latency when the owner node must send 0-3 downgrade messages:
+   [writers] processors of the owning node touch each block with a store
+   (raising their private entries to exclusive) before a processor on
+   another node reads it. *)
+let with_downgrades ~writers () =
+  assert (writers >= 1 && writers <= 4);
+  let cfg =
+    Config.create ~variant:Config.Smp ~nprocs:8 ~procs_per_node:4 ~clustering:4 ()
+  in
+  let h = Dsm.create cfg in
+  let blocks = alloc_blocks h ~home:4 in
+  let b = Dsm.alloc_barrier h in
+  Dsm.run h (fun ctx ->
+      let p = Dsm.pid ctx in
+      if p >= 4 && p < 4 + writers then
+        List.iter (fun a -> Dsm.store_float ctx a (float_of_int p)) blocks;
+      Dsm.barrier ctx b;
+      if p = 0 then List.iter (fun a -> ignore (Dsm.load_float ctx a)) blocks;
+      Dsm.barrier ctx b);
+  mean_read_latency_us h 0
+
+let render () =
+  let us v = Printf.sprintf "%.1f us" v in
+  let basics =
+    [
+      [ "64B read, 2-hop remote home"; us (two_hop ~same_node:false ()); "~20 us" ];
+      [ "64B read, colocated home (same SMP)"; us (two_hop ~same_node:true ()); "~11 us" ];
+      [ "64B read, 3-hop (home forwards to owner)"; us (three_hop ()); "-" ];
+    ]
+  in
+  let dg =
+    List.map
+      (fun w ->
+        [
+          Printf.sprintf "64B read with %d downgrade msg(s)" (w - 1);
+          us (with_downgrades ~writers:w ());
+          (match w with
+          | 1 -> "baseline"
+          | 2 -> "+~10 us over baseline"
+          | _ -> "+~5 us per additional");
+        ])
+      [ 1; 2; 3; 4 ]
+  in
+  Report.section "Microbenchmarks (4.1 / 4.4): miss latencies"
+    (Table.render ~header:[ "operation"; "measured"; "paper" ] (basics @ dg))

@@ -1,0 +1,10 @@
+(** §4.1 / §4.4 microbenchmarks.
+
+    Measures, on the simulated cluster: the latency of a 64-byte read
+    miss served two-hop from a remote home (paper: ~20 us), the same
+    miss served by a processor on the same physical SMP under Base-Shasta
+    (paper: ~11 us), a three-hop remote miss, and the added cost of a
+    read that requires 0-3 intra-node downgrade messages (paper: +10 us
+    for the first downgrade, +5 us for each additional one). *)
+
+val render : unit -> string

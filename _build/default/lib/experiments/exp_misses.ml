@@ -1,0 +1,61 @@
+module Table = Shasta_util.Text_table
+module Registry = Shasta_apps.Registry
+module Stats = Shasta_core.Stats
+module Msg = Shasta_core.Msg
+
+let classes =
+  [
+    ("rd2", { Stats.kind = Msg.Read; three_hop = false });
+    ("rd3", { Stats.kind = Msg.Read; three_hop = true });
+    ("wr2", { Stats.kind = Msg.Readex; three_hop = false });
+    ("wr3", { Stats.kind = Msg.Readex; three_hop = true });
+    ("up2", { Stats.kind = Msg.Upgrade; three_hop = false });
+    ("up3", { Stats.kind = Msg.Upgrade; three_hop = true });
+  ]
+
+let render ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
+  let header =
+    [ "app"; "procs"; "config" ]
+    @ List.map fst classes
+    @ [ "total"; "% of Base"; "rd lat" ]
+  in
+  let rows =
+    List.concat_map
+      (fun app ->
+        List.concat_map
+          (fun n ->
+            let specs =
+              [
+                ("Base", Runner.base ~scale app n);
+                ("SMP-2", Runner.smp ~scale app n ~clustering:2);
+                ("SMP-4", Runner.smp ~scale app n ~clustering:4);
+              ]
+            in
+            let base_total =
+              Stats.total_misses (Runner.run (List.assoc "Base" specs)).Runner.stats
+            in
+            List.map
+              (fun (label, spec) ->
+                let r = Runner.run spec in
+                let total = Stats.total_misses r.Runner.stats in
+                [ app; string_of_int n; label ]
+                @ List.map
+                    (fun (_, c) ->
+                      string_of_int (Stats.miss_count r.Runner.stats c))
+                    classes
+                @ [
+                    string_of_int total;
+                    (if base_total = 0 then "-"
+                     else
+                       Report.pct
+                         (float_of_int total /. float_of_int base_total));
+                    Printf.sprintf "%.1fus"
+                      (Stats.mean_read_latency_us r.Runner.stats);
+                  ])
+              specs)
+          procs)
+      Registry.names
+  in
+  Report.section
+    "Figure 6: misses by type and hops (2-hop = reply from home)"
+    (Table.render ~header rows)

@@ -1,0 +1,9 @@
+(** Figure 6: software misses in 8- and 16-processor runs, classified
+    by request type (read / write / upgrade) and hops (2 if the reply
+    came from the home processor, 3 otherwise), for Base-Shasta and
+    SMP-Shasta at clusterings of 2 and 4, normalized to the Base total.
+    The mean read-miss latency is included to check the paper's 4.4
+    observation that SMP-Shasta's per-miss latency is a few microseconds
+    higher (protocol locking) unless reduced contention wins. *)
+
+val render : ?procs:int list -> ?scale:float -> unit -> string

@@ -1,0 +1,30 @@
+module Table = Shasta_util.Text_table
+module Registry = Shasta_apps.Registry
+
+let smp_clustering n = if n >= 4 then 4 else n
+
+let smp_spec ?vg ?scale app n =
+  if n = 1 then Runner.smp ?vg ?scale app 1 ~clustering:1
+  else Runner.smp ?vg ?scale app n ~clustering:(smp_clustering n)
+
+let render ?(procs = [ 1; 2; 4; 8; 16 ]) ?(scale = 1.0) () =
+  let header =
+    "app" :: "protocol" :: List.map (fun n -> string_of_int n ^ "p") procs
+  in
+  let rows =
+    List.concat_map
+      (fun app ->
+        let row label spec_of =
+          app :: label
+          :: List.map (fun n -> Report.fx (Runner.speedup (spec_of n))) procs
+        in
+        [
+          row "Base" (fun n -> Runner.base ~scale app n);
+          row "SMP" (fun n -> smp_spec ~scale app n);
+        ])
+      Registry.names
+  in
+  Report.section
+    "Figure 3: speedups (vs. original sequential code), Base-Shasta and SMP-Shasta"
+    (Table.render ~header rows
+    ^ "\n\nSMP-Shasta clustering: 2 processors per node at 2p, 4 at 4p/8p/16p.")

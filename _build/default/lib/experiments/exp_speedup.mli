@@ -1,0 +1,8 @@
+(** Figure 3: speedups of the nine applications on 1-16 processors.
+
+    Speedups are relative to the original sequential code (no checks).
+    Base-Shasta runs with one processor per coherence node; SMP-Shasta
+    uses a clustering of 2 at 2 processors and 4 at 4, 8 and 16 — the
+    configurations plotted in the paper. *)
+
+val render : ?procs:int list -> ?scale:float -> unit -> string

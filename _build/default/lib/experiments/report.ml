@@ -1,0 +1,8 @@
+let pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+let fx v = Printf.sprintf "%.2f" v
+let f1 v = Printf.sprintf "%.1f" v
+let seconds c = Printf.sprintf "%.3fs" (Runner.seconds c)
+
+let section title body =
+  let bar = String.make (String.length title) '=' in
+  Printf.sprintf "\n%s\n%s\n\n%s\n" title bar body

@@ -1,0 +1,16 @@
+(** Small formatting helpers shared by the experiment renderers. *)
+
+val pct : float -> string
+(** "12.3%" *)
+
+val fx : float -> string
+(** Two-decimal fixed point. *)
+
+val f1 : float -> string
+(** One-decimal fixed point. *)
+
+val seconds : int -> string
+(** Cycle count rendered as simulated seconds, e.g. "0.113s". *)
+
+val section : string -> string -> string
+(** [section title body] frames an experiment's output. *)

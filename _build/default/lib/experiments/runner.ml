@@ -1,0 +1,118 @@
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module Stats = Shasta_core.Stats
+module App = Shasta_apps.App
+
+type spec = {
+  app : string;
+  vg : bool;
+  scale : float;
+  variant : Config.variant;
+  nprocs : int;
+  clustering : int;
+  checks : bool;
+  smp_sync : bool;
+  share_directory : bool;
+}
+
+let base ?(vg = false) ?(scale = 1.0) app nprocs =
+  {
+    app;
+    vg;
+    scale;
+    variant = Config.Base;
+    nprocs;
+    clustering = 1;
+    checks = true;
+    smp_sync = false;
+    share_directory = false;
+  }
+
+let smp ?(vg = false) ?(scale = 1.0) app nprocs ~clustering =
+  {
+    app;
+    vg;
+    scale;
+    variant = Config.Smp;
+    nprocs;
+    clustering;
+    checks = true;
+    smp_sync = false;
+    share_directory = false;
+  }
+
+let sequential ?(scale = 1.0) app =
+  {
+    app;
+    vg = false;
+    scale;
+    variant = Config.Base;
+    nprocs = 1;
+    clustering = 1;
+    checks = false;
+    smp_sync = false;
+    share_directory = false;
+  }
+
+type result = {
+  spec : spec;
+  workload : string;
+  parallel_cycles : int;
+  stats : Stats.t;
+  per_proc : Stats.t array;
+  local_msgs : int;
+  remote_msgs : int;
+  downgrade_msgs : int;
+  verdict : App.verdict;
+}
+
+let cache : (spec, result) Hashtbl.t = Hashtbl.create 64
+
+let execute spec =
+  let maker = Shasta_apps.Registry.find spec.app in
+  let inst = maker ~vg:spec.vg ~scale:spec.scale () in
+  let heap = max (1 lsl 22) inst.App.heap_bytes in
+  (* Round up to a page multiple. *)
+  let heap = (heap + 4095) / 4096 * 4096 in
+  let cfg =
+    Config.create ~variant:spec.variant ~nprocs:spec.nprocs
+      ~clustering:spec.clustering ~checks_enabled:spec.checks ~heap_bytes:heap
+      ~smp_sync:spec.smp_sync ~share_directory:spec.share_directory ()
+  in
+  let h = Dsm.create cfg in
+  let body, verify = inst.App.setup h in
+  Dsm.run h body;
+  let verdict = verify h in
+  if not verdict.App.ok then
+    failwith
+      (Printf.sprintf "experiment run failed verification: %s (%s)" spec.app
+         verdict.App.detail);
+  let downgrade_msgs = Dsm.downgrade_messages h in
+  {
+    spec;
+    workload = inst.App.workload;
+    parallel_cycles = Dsm.parallel_cycles h;
+    stats = Dsm.aggregate_stats h;
+    per_proc = Dsm.proc_stats h;
+    local_msgs = Dsm.messages_local h - downgrade_msgs;
+    remote_msgs = Dsm.messages_remote h;
+    downgrade_msgs;
+    verdict;
+  }
+
+let run spec =
+  match Hashtbl.find_opt cache spec with
+  | Some r -> r
+  | None ->
+    let r = execute spec in
+    Hashtbl.replace cache spec r;
+    r
+
+let seconds cycles = float_of_int cycles /. 3.0e8
+
+let speedup spec =
+  let seq = run (sequential ~scale:spec.scale spec.app) in
+  let par = run spec in
+  float_of_int seq.parallel_cycles /. float_of_int par.parallel_cycles
+
+let cache_size () = Hashtbl.length cache

@@ -1,0 +1,54 @@
+(** Shared machinery for the paper-reproduction experiments.
+
+    A {!spec} fully determines a simulated run; results are memoized for
+    the lifetime of the process because the experiments reuse each
+    other's configurations heavily (e.g. the Figure-4 breakdown uses the
+    same runs as the Figure-3 speedups). *)
+
+type spec = {
+  app : string;
+  vg : bool;
+  scale : float;
+  variant : Shasta_core.Config.variant;
+  nprocs : int;
+  clustering : int;
+  checks : bool;
+  smp_sync : bool;  (** hierarchical-barrier extension (5) *)
+  share_directory : bool;  (** shared-directory extension (5) *)
+}
+
+val base : ?vg:bool -> ?scale:float -> string -> int -> spec
+(** Base-Shasta run at the given processor count. *)
+
+val smp : ?vg:bool -> ?scale:float -> string -> int -> clustering:int -> spec
+(** SMP-Shasta run. *)
+
+val sequential : ?scale:float -> string -> spec
+(** One processor, inline checks disabled — the "original sequential
+    code" baseline. *)
+
+type result = {
+  spec : spec;
+  workload : string;
+  parallel_cycles : int;
+  stats : Shasta_core.Stats.t;  (** aggregated over processors *)
+  per_proc : Shasta_core.Stats.t array;
+  local_msgs : int;  (** intra-node messages, excluding downgrades *)
+  remote_msgs : int;
+  downgrade_msgs : int;
+  verdict : Shasta_apps.App.verdict;
+}
+
+val run : spec -> result
+(** Execute (or fetch from the cache). Raises [Failure] if the
+    application's result verification fails — every experiment run is
+    also a correctness check. *)
+
+val seconds : int -> float
+(** Simulated seconds from a cycle count (300 MHz clock). *)
+
+val speedup : spec -> float
+(** [parallel_cycles (sequential app)] / [parallel_cycles spec], the
+    paper's definition (relative to the original sequential code). *)
+
+val cache_size : unit -> int

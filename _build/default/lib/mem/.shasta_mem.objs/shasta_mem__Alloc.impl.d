@@ -1,0 +1,1 @@
+lib/mem/alloc.ml: Block_map Layout

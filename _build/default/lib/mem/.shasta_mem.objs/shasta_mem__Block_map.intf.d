@@ -1,0 +1,1 @@
+lib/mem/block_map.mli: Layout

@@ -1,0 +1,1 @@
+lib/mem/home_map.ml: Array Layout

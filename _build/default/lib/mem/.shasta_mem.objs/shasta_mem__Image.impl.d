@@ -1,0 +1,1 @@
+lib/mem/image.ml: Bytes Int64 Layout List

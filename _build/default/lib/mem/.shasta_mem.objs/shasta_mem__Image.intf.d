@@ -1,0 +1,1 @@
+lib/mem/image.mli: Bytes Layout

@@ -1,0 +1,1 @@
+lib/mem/state_table.ml: Bytes Char Format Layout

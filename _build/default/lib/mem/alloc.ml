@@ -1,0 +1,32 @@
+type t = { layout : Layout.t; blocks : Block_map.t; mutable next : int }
+
+let create layout blocks = { layout; blocks; next = 0 }
+
+let round_up v align = (v + align - 1) / align * align
+
+let alloc t ?block_size size =
+  assert (size > 0);
+  let line = t.layout.Layout.line_size in
+  let base = t.next in
+  let total = round_up size line in
+  if base + total > t.layout.Layout.heap_bytes then
+    failwith "Alloc.alloc: shared heap exhausted";
+  t.next <- base + total;
+  let obj_lines = total / line in
+  let block_lines =
+    match block_size with
+    | Some b ->
+      assert (b > 0);
+      min obj_lines (round_up b line / line)
+    | None -> if size < 1024 then obj_lines else 1
+  in
+  let first_line = Layout.line_of t.layout base in
+  let off = ref 0 in
+  while !off < obj_lines do
+    let n = min block_lines (obj_lines - !off) in
+    Block_map.define t.blocks ~first_line:(first_line + !off) ~nlines:n;
+    off := !off + n
+  done;
+  base
+
+let used_bytes t = t.next

@@ -1,0 +1,23 @@
+(** Shared-heap allocator with variable coherence granularity.
+
+    Mirrors Shasta's modified [malloc]: the block size is a hint given at
+    allocation time. By default, objects smaller than 1024 bytes become a
+    single block covering the whole object, and larger objects are split
+    into line-sized (64-byte) blocks (§4.3). Allocation happens before
+    the parallel phase, so the allocator is a plain bump pointer and the
+    resulting block map is identical on every node. *)
+
+type t
+
+val create : Layout.t -> Block_map.t -> t
+
+val alloc : t -> ?block_size:int -> int -> int
+(** [alloc t size] reserves [size] bytes and returns their base address
+    (line-aligned; a line is never shared by two objects).
+    [block_size], when given, is rounded up to a whole number of lines
+    and used as the coherence granularity for this object; the object's
+    tail forms a final shorter block when [size] is not a multiple.
+    Raises [Failure] when the heap is exhausted. *)
+
+val used_bytes : t -> int
+(** High-water mark of the bump pointer. *)

@@ -1,0 +1,22 @@
+type t = { base : int array; len : int array }
+
+let create layout =
+  let n = Layout.nlines layout in
+  { base = Array.init n (fun i -> i); len = Array.make n 1 }
+
+let define t ~first_line ~nlines =
+  assert (nlines > 0);
+  assert (first_line >= 0 && first_line + nlines <= Array.length t.base);
+  for l = first_line to first_line + nlines - 1 do
+    t.base.(l) <- first_line;
+    t.len.(l) <- nlines
+  done
+
+let base_line t l = t.base.(l)
+let block_nlines t l = t.len.(l)
+
+let base_addr t layout addr =
+  Layout.addr_of_line layout (base_line t (Layout.line_of layout addr))
+
+let size_bytes t layout addr =
+  block_nlines t (Layout.line_of layout addr) * layout.Layout.line_size

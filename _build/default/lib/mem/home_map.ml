@@ -1,0 +1,14 @@
+type t = { homes : int array }
+
+let create layout ~nprocs =
+  { homes = Array.init (Layout.npages layout) (fun p -> p mod nprocs) }
+
+let home_of_line t layout l = t.homes.(Layout.page_of_line layout l)
+
+let set_home t layout ~addr ~len ~proc =
+  assert (len > 0);
+  let page_size = layout.Layout.page_size in
+  let first = addr / page_size and last = (addr + len - 1) / page_size in
+  for p = first to last do
+    t.homes.(p) <- proc
+  done

@@ -1,0 +1,18 @@
+(** Page → home-processor assignment.
+
+    Each virtual page of shared data has a home processor that keeps the
+    directory information for all blocks on the page. The default is
+    round-robin across processors; applications using the standard
+    SPLASH-2 home-placement optimization override ranges explicitly. *)
+
+type t
+
+val create : Layout.t -> nprocs:int -> t
+
+val home_of_line : t -> Layout.t -> int -> int
+(** Home processor of the page containing a line. Blocks never straddle
+    pages (the allocator guarantees this), so a block's home is the home
+    of its first line. *)
+
+val set_home : t -> Layout.t -> addr:int -> len:int -> proc:int -> unit
+(** Pin all pages overlapping [addr, addr+len) to [proc]. *)

@@ -1,0 +1,28 @@
+type t = Bytes.t
+
+let create layout = Bytes.make layout.Layout.heap_bytes '\000'
+
+let load64 t a = Bytes.get_int64_le t a
+let store64 t a v = Bytes.set_int64_le t a v
+let load_float t a = Int64.float_of_bits (load64 t a)
+let store_float t a v = store64 t a (Int64.bits_of_float v)
+let load_int t a = Int64.to_int (load64 t a)
+let store_int t a v = store64 t a (Int64.of_int v)
+let snapshot t ~addr ~len = Bytes.sub t addr len
+
+let write_bytes t ~addr ?(skip = []) data =
+  let saved = List.map (fun (off, len) -> (off, Bytes.sub t (addr + off) len)) skip in
+  Bytes.blit data 0 t addr (Bytes.length data);
+  List.iter (fun (off, b) -> Bytes.blit b 0 t (addr + off) (Bytes.length b)) saved
+
+let invalid_flag32 = 0xDEADBEEFl
+let invalid_flag64 = 0xDEADBEEFDEADBEEFL
+
+let write_invalid_flag t ~addr ~len =
+  assert (addr mod 4 = 0 && len mod 4 = 0);
+  let words = len / 4 in
+  for w = 0 to words - 1 do
+    Bytes.set_int32_le t (addr + (4 * w)) invalid_flag32
+  done
+
+let is_flag64 v = Int64.equal v invalid_flag64

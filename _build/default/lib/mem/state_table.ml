@@ -1,0 +1,47 @@
+type base = Invalid | Shared | Exclusive
+
+let base_geq have need =
+  match (have, need) with
+  | Exclusive, _ -> true
+  | Shared, (Invalid | Shared) -> true
+  | Shared, Exclusive -> false
+  | Invalid, Invalid -> true
+  | Invalid, (Shared | Exclusive) -> false
+
+type t = Bytes.t
+
+let base_mask = 0b11
+let pending_bit = 0b100
+let downgrade_bit = 0b1000
+let batch_bit = 0b10000
+
+let create layout = Bytes.make (Layout.nlines layout) '\000'
+
+let get t l =
+  match Char.code (Bytes.get t l) land base_mask with
+  | 0 -> Invalid
+  | 1 -> Shared
+  | _ -> Exclusive
+
+let set t l b =
+  let v = Char.code (Bytes.get t l) land lnot base_mask in
+  let b = match b with Invalid -> 0 | Shared -> 1 | Exclusive -> 2 in
+  Bytes.set t l (Char.chr (v lor b))
+
+let get_bit bit t l = Char.code (Bytes.get t l) land bit <> 0
+
+let set_bit bit t l v =
+  let c = Char.code (Bytes.get t l) in
+  let c = if v then c lor bit else c land lnot bit in
+  Bytes.set t l (Char.chr c)
+
+let pending = get_bit pending_bit
+let set_pending = set_bit pending_bit
+let pending_downgrade = get_bit downgrade_bit
+let set_pending_downgrade = set_bit downgrade_bit
+let batch_marker = get_bit batch_bit
+let set_batch_marker = set_bit batch_bit
+
+let pp_base ppf b =
+  Format.pp_print_string ppf
+    (match b with Invalid -> "I" | Shared -> "S" | Exclusive -> "E")

@@ -1,0 +1,39 @@
+(** Per-line coherence state tables.
+
+    A node's {e shared} table holds the base state plus the protocol's
+    transient markers; each processor's {e private} table (SMP-Shasta)
+    holds only a base state and is the one consulted by inline checks,
+    which is what lets the checks run without synchronization or fences. *)
+
+type base = Invalid | Shared | Exclusive
+
+val base_geq : base -> base -> bool
+(** [base_geq have need]: does state [have] permit an access requiring
+    [need]? ([Shared] suffices for loads, [Exclusive] for stores.) *)
+
+type t
+
+val create : Layout.t -> t
+(** All lines start [Invalid] with no markers. *)
+
+val get : t -> int -> base
+val set : t -> int -> base -> unit
+
+val pending : t -> int -> bool
+(** A miss for this line's block is outstanding (request sent, reply not
+    yet processed). *)
+
+val set_pending : t -> int -> bool -> unit
+
+val pending_downgrade : t -> int -> bool
+(** An intra-node downgrade is in flight for this line's block. *)
+
+val set_pending_downgrade : t -> int -> bool -> unit
+
+val batch_marker : t -> int -> bool
+(** The line is inside an active batch; invalid-flag stores into it must
+    be deferred until the batch ends (§3.4.4). *)
+
+val set_batch_marker : t -> int -> bool -> unit
+
+val pp_base : Format.formatter -> base -> unit

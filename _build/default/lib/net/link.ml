@@ -1,0 +1,23 @@
+type t = {
+  local_latency : int;
+  remote_latency : int;
+  local_cycles_per_byte : float;
+  remote_cycles_per_byte : float;
+}
+
+(* 300 MHz: 1 us = 300 cycles. Remote: 4 us wire; 35 MB/s ~ 8.2 cyc/B.
+   Local: ~1 us through a coherent shared-memory queue; 45 MB/s ~ 6.4 cyc/B. *)
+let default =
+  {
+    local_latency = 250;
+    remote_latency = 1200;
+    local_cycles_per_byte = 4.0;
+    remote_cycles_per_byte = 8.2;
+  }
+
+let transfer_cycles t ~same_node ~size =
+  let lat, per_byte =
+    if same_node then (t.local_latency, t.local_cycles_per_byte)
+    else (t.remote_latency, t.remote_cycles_per_byte)
+  in
+  lat + int_of_float (Float.round (float_of_int size *. per_byte))

@@ -1,0 +1,21 @@
+(** Interconnect timing parameters, in processor cycles.
+
+    Defaults model the paper's prototype at 300 MHz (1 cycle = 3.33 ns):
+    Memory Channel one-way latency ~4 us, ~35 MB/s effective remote
+    bandwidth; intra-node shared-memory message queues with sub-microsecond latency
+    and ~45 MB/s. The calibration microbenchmark (bench target [micro])
+    checks that a 64-byte two-hop remote fetch lands near the paper's
+    20 us and an intra-node fetch near 11 us. *)
+
+type t = {
+  local_latency : int;  (** wire cycles for an intra-node message *)
+  remote_latency : int;  (** wire cycles for an inter-node message *)
+  local_cycles_per_byte : float;  (** serialization cost per payload byte *)
+  remote_cycles_per_byte : float;
+}
+
+val default : t
+
+val transfer_cycles : t -> same_node:bool -> size:int -> int
+(** Wire latency plus serialization time for a message of [size] payload
+    bytes. *)

@@ -1,0 +1,110 @@
+type 'a msg = { arrival : int; seq : int; src : int; payload : 'a }
+
+(* Minimal binary min-heap on (arrival, seq). *)
+module Heap = struct
+  type 'a t = { mutable data : 'a msg array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let less a b = a.arrival < b.arrival || (a.arrival = b.arrival && a.seq < b.seq)
+
+  let swap h i j =
+    let t = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- t
+
+  let push h m =
+    if h.size = Array.length h.data then begin
+      let cap = max 16 (2 * h.size) in
+      let data = Array.make cap m in
+      Array.blit h.data 0 data 0 h.size;
+      h.data <- data
+    end;
+    h.data.(h.size) <- m;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && less h.data.(!i) h.data.((!i - 1) / 2) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let peek h = if h.size = 0 then None else Some h.data.(0)
+
+  let pop h =
+    match peek h with
+    | None -> None
+    | Some m ->
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some m
+end
+
+type 'a t = {
+  topo : Topology.t;
+  link : Link.t;
+  queues : 'a Heap.t array;
+  last_arrival : (int * int, int) Hashtbl.t;  (* (src,dst) -> last arrival *)
+  mutable seq : int;
+  mutable n_local : int;
+  mutable n_remote : int;
+  mutable n_bytes_remote : int;
+}
+
+let create topo link =
+  {
+    topo;
+    link;
+    queues = Array.init (Topology.nprocs topo) (fun _ -> Heap.create ());
+    last_arrival = Hashtbl.create 64;
+    seq = 0;
+    n_local = 0;
+    n_remote = 0;
+    n_bytes_remote = 0;
+  }
+
+let send t ~src ~dst ~now ~size payload =
+  let same_node = Topology.same_node t.topo src dst in
+  let transfer = Link.transfer_cycles t.link ~same_node ~size in
+  let arrival = now + transfer in
+  let arrival =
+    match Hashtbl.find_opt t.last_arrival (src, dst) with
+    | Some last when last >= arrival -> last + 1
+    | _ -> arrival
+  in
+  Hashtbl.replace t.last_arrival (src, dst) arrival;
+  if same_node then t.n_local <- t.n_local + 1
+  else begin
+    t.n_remote <- t.n_remote + 1;
+    t.n_bytes_remote <- t.n_bytes_remote + size
+  end;
+  Heap.push t.queues.(dst) { arrival; seq = t.seq; src; payload };
+  t.seq <- t.seq + 1
+
+let poll t ~dst ~now =
+  match Heap.peek t.queues.(dst) with
+  | Some m when m.arrival <= now -> (
+    match Heap.pop t.queues.(dst) with
+    | Some m -> Some (m.src, m.payload)
+    | None -> assert false)
+  | Some _ | None -> None
+
+let peek_arrival t ~dst =
+  Option.map (fun m -> m.arrival) (Heap.peek t.queues.(dst))
+
+let queued t ~dst = t.queues.(dst).Heap.size
+let sent_local t = t.n_local
+let sent_remote t = t.n_remote
+let bytes_remote t = t.n_bytes_remote

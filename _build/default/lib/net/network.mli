@@ -1,0 +1,37 @@
+(** Point-to-point message transport with arrival timestamps.
+
+    Each destination processor owns a queue ordered by arrival time (ties
+    broken by a global send sequence number, which also keeps delivery
+    deterministic). Messages between the same (src, dst) pair are forced
+    to stay FIFO even when a small message is sent after a large one —
+    both the Memory Channel and the intra-node shared-memory queues of
+    the prototype deliver in order. *)
+
+type 'a t
+
+val create : Topology.t -> Link.t -> 'a t
+
+val send : 'a t -> src:int -> dst:int -> now:int -> size:int -> 'a -> unit
+(** Enqueue a message carrying [size] payload bytes; its arrival time is
+    [now] plus the link transfer time (at least one cycle after the
+    previous message on the same (src,dst) pair). *)
+
+val poll : 'a t -> dst:int -> now:int -> (int * 'a) option
+(** Pop the earliest message destined to [dst] whose arrival time is at
+    most [now]; result carries the sender. *)
+
+val peek_arrival : 'a t -> dst:int -> int option
+(** Arrival time of the earliest queued message for [dst] (whether or not
+    it has arrived yet). *)
+
+val queued : 'a t -> dst:int -> int
+(** Number of queued (in-flight or arrived) messages for [dst]. *)
+
+val sent_local : 'a t -> int
+(** Count of intra-node messages sent so far. *)
+
+val sent_remote : 'a t -> int
+(** Count of inter-node messages sent so far. *)
+
+val bytes_remote : 'a t -> int
+(** Total payload bytes shipped between nodes. *)

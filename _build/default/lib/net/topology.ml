@@ -1,0 +1,20 @@
+type t = { nprocs : int; procs_per_node : int }
+
+let create ~nprocs ~procs_per_node =
+  assert (nprocs > 0 && procs_per_node > 0);
+  { nprocs; procs_per_node }
+
+let nprocs t = t.nprocs
+let procs_per_node t = t.procs_per_node
+let nnodes t = (t.nprocs + t.procs_per_node - 1) / t.procs_per_node
+
+let node_of t p =
+  assert (p >= 0 && p < t.nprocs);
+  p / t.procs_per_node
+
+let same_node t p q = node_of t p = node_of t q
+
+let procs_of_node t n =
+  let lo = n * t.procs_per_node in
+  let hi = min t.nprocs (lo + t.procs_per_node) - 1 in
+  List.init (hi - lo + 1) (fun i -> lo + i)

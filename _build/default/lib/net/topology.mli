@@ -1,0 +1,25 @@
+(** Physical placement of processors on SMP nodes.
+
+    The prototype cluster of the paper is four 4-processor AlphaServers;
+    message latency depends on whether two processors share a physical
+    node, independently of the protocol's logical clustering degree. *)
+
+type t
+
+val create : nprocs:int -> procs_per_node:int -> t
+(** [procs_per_node] must be positive; the last node may be partially
+    filled when it does not divide [nprocs]. *)
+
+val nprocs : t -> int
+val procs_per_node : t -> int
+
+val nnodes : t -> int
+(** Number of (possibly partially filled) physical nodes. *)
+
+val node_of : t -> int -> int
+(** Physical node hosting a processor. *)
+
+val same_node : t -> int -> int -> bool
+
+val procs_of_node : t -> int -> int list
+(** Processors hosted on a node, ascending. *)

@@ -1,0 +1,96 @@
+type _ Effect.t += Yield : unit Effect.t
+
+type status =
+  | Fresh
+  | Suspended of (unit, unit) Effect.Deep.continuation
+  | Running
+  | Finished
+
+type proc = {
+  p_id : int;
+  p_nprocs : int;
+  mutable p_now : int;
+  mutable p_status : status;
+  p_max_cycles : int;
+}
+
+exception Cycle_limit of int
+
+let pid p = p.p_id
+let nprocs p = p.p_nprocs
+let now p = p.p_now
+
+let advance_local p c =
+  assert (c >= 0);
+  p.p_now <- p.p_now + c;
+  if p.p_now > p.p_max_cycles then raise (Cycle_limit p.p_id)
+
+let yield _p = Effect.perform Yield
+
+let advance p c =
+  advance_local p c;
+  Effect.perform Yield
+
+(* Resume [p] under a deep handler that parks the continuation on Yield.
+   The handler returns control to the scheduler loop after each effect. *)
+let step body p =
+  match p.p_status with
+  | Finished | Running -> assert false
+  | Suspended k ->
+    p.p_status <- Running;
+    Effect.Deep.continue k ()
+  | Fresh ->
+    p.p_status <- Running;
+    Effect.Deep.match_with
+      (fun () -> body p)
+      ()
+      {
+        retc = (fun () -> p.p_status <- Finished);
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type c) (eff : c Effect.t) ->
+            match eff with
+            | Yield ->
+              Some
+                (fun (k : (c, unit) Effect.Deep.continuation) ->
+                  p.p_status <- Suspended k)
+            | _ -> None);
+      }
+
+let pick tasks =
+  let best = ref None in
+  Array.iter
+    (fun p ->
+      match p.p_status with
+      | Finished | Running -> ()
+      | Fresh | Suspended _ -> (
+        match !best with
+        | Some b when b.p_now <= p.p_now -> ()
+        | _ -> best := Some p))
+    tasks;
+  !best
+
+let run ~nprocs ?(max_cycles = 2_000_000_000) body =
+  assert (nprocs > 0);
+  let tasks =
+    Array.init nprocs (fun i ->
+        {
+          p_id = i;
+          p_nprocs = nprocs;
+          p_now = 0;
+          p_status = Fresh;
+          p_max_cycles = max_cycles;
+        })
+  in
+  let rec loop () =
+    match pick tasks with
+    | None -> ()
+    | Some p ->
+      step body p;
+      (* A Running status here means [step] returned without the task either
+         finishing or suspending, which the handler construction rules out. *)
+      assert (p.p_status <> Running);
+      loop ()
+  in
+  loop ();
+  Array.map (fun p -> p.p_now) tasks

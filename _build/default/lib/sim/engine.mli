@@ -1,0 +1,43 @@
+(** Deterministic cooperative multiprocessor.
+
+    Each simulated processor runs as an effect-handler coroutine with its
+    own virtual cycle clock. The scheduler always resumes the runnable
+    processor with the smallest clock (ties broken by processor id), so a
+    run is a deterministic function of the program and its seeds.
+
+    Causality note: a processor observes a message in its input queue only
+    at a scheduling point at-or-after the message's arrival timestamp, which
+    models polling-based reception (messages are never handled between an
+    inline state check and its corresponding load/store, the key invariant
+    of the Shasta protocol). *)
+
+type proc
+(** Handle to the currently executing simulated processor. *)
+
+exception Cycle_limit of int
+(** Raised (carrying the processor id) when a processor exceeds the run's
+    cycle budget — the simulator's deadlock/livelock backstop. *)
+
+val run : nprocs:int -> ?max_cycles:int -> (proc -> unit) -> int array
+(** [run ~nprocs body] spawns [nprocs] processors executing [body] and
+    schedules them to completion; result is each processor's finish time
+    in cycles. [max_cycles] defaults to [2_000_000_000]. *)
+
+val pid : proc -> int
+(** Identifier in \[0, nprocs). *)
+
+val nprocs : proc -> int
+(** Number of processors in this run. *)
+
+val now : proc -> int
+(** Current value of this processor's cycle clock. *)
+
+val advance : proc -> int -> unit
+(** [advance p c] charges [c] cycles and yields to the scheduler. *)
+
+val advance_local : proc -> int -> unit
+(** Charge cycles without a scheduling point — for short straight-line
+    sequences where interleaving cannot matter. *)
+
+val yield : proc -> unit
+(** Scheduling point without a time charge. *)

@@ -1,0 +1,42 @@
+type t = int
+
+let max_element = 62
+
+let check i =
+  assert (i >= 0 && i <= max_element);
+  i
+
+let empty = 0
+let is_empty t = t = 0
+let singleton i = 1 lsl check i
+let add i t = t lor singleton i
+let remove i t = t land lnot (singleton i)
+let mem i t = t land singleton i <> 0
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+
+let cardinal t =
+  let rec count acc t = if t = 0 then acc else count (acc + (t land 1)) (t lsr 1) in
+  count 0 t
+
+let iter f t =
+  for i = 0 to max_element do
+    if mem i t then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+let of_list l = List.fold_left (fun acc i -> add i acc) empty l
+let equal (a : t) b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (elements t)

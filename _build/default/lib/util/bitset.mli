@@ -1,0 +1,25 @@
+(** Small bit sets over processor identifiers (0..62).
+
+    The directory's sharer vector (one bit per processor) is the main
+    client; the cluster tops out at 16 processors so a single immutable
+    [int] suffices. *)
+
+type t
+(** Immutable set of small non-negative integers. *)
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int list -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

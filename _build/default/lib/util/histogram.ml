@@ -1,0 +1,32 @@
+type t = (int, int) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let add_many t k n =
+  match Hashtbl.find_opt t k with
+  | Some c -> Hashtbl.replace t k (c + n)
+  | None -> Hashtbl.replace t k n
+
+let add t k = add_many t k 1
+let count t k = Option.value ~default:0 (Hashtbl.find_opt t k)
+let total t = Hashtbl.fold (fun _ c acc -> acc + c) t 0
+let keys t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let fraction t k =
+  let n = total t in
+  if n = 0 then 0. else float_of_int (count t k) /. float_of_int n
+
+let merge a b =
+  let r = create () in
+  Hashtbl.iter (fun k c -> add_many r k c) a;
+  Hashtbl.iter (fun k c -> add_many r k c) b;
+  r
+
+let clear t = Hashtbl.reset t
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf k -> Format.fprintf ppf "%d:%d" k (count t k)))
+    (keys t)

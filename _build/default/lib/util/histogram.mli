@@ -1,0 +1,33 @@
+(** Integer-keyed frequency counters.
+
+    Used for the downgrade-message distribution of Figure 8 and for
+    miscellaneous protocol statistics. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** [add t k] increments the count of key [k]. *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many t k n] increments the count of key [k] by [n]. *)
+
+val count : t -> int -> int
+(** Count recorded for a key ([0] if never seen). *)
+
+val total : t -> int
+(** Sum of all counts. *)
+
+val keys : t -> int list
+(** Keys with non-zero counts, ascending. *)
+
+val fraction : t -> int -> float
+(** [fraction t k] is [count t k / total t] ([0.] on an empty histogram). *)
+
+val merge : t -> t -> t
+(** Pointwise sum; inputs unchanged. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?aligns ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match aligns with
+    | Some a ->
+      assert (List.length a = ncols);
+      a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let line row =
+    let cells =
+      List.mapi (fun i cell -> pad (List.nth aligns i) widths.(i) cell) row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    "|"
+    ^ String.concat "|"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "|"
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let bar ?(width = 40) v =
+  let v = Float.max 0. (Float.min 1. v) in
+  let n = int_of_float (Float.round (v *. float_of_int width)) in
+  String.make n '#'
+
+let stacked_bar ?(width = 40) segments =
+  let buf = Buffer.create width in
+  List.iter
+    (fun (c, v) ->
+      let n = int_of_float (Float.round (Float.max 0. v *. float_of_int width)) in
+      Buffer.add_string buf (String.make n c))
+    segments;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Produces aligned, pipe-separated tables resembling the tables in the
+    paper, suitable for terminal output and the EXPERIMENTS.md log. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out [rows] under [header] with columns
+    padded to the widest cell. [aligns] defaults to left-aligning the
+    first column and right-aligning the rest. *)
+
+val bar : ?width:int -> float -> string
+(** [bar v] renders a horizontal bar of [v] (clamped to \[0,1\]) scaled
+    to [width] (default 40) characters — used for the "figures". *)
+
+val stacked_bar : ?width:int -> (char * float) list -> string
+(** [stacked_bar segments] renders segments (label char, value) as one
+    bar whose total length is proportional to the sum of values, with
+    [width] characters representing 1.0. *)

@@ -1,0 +1,1 @@
+test/debug_hang.ml: Array Format List Printf Shasta_apps Shasta_core Shasta_sim Sys

@@ -1,0 +1,1 @@
+test/debug_hang.mli:

@@ -1,0 +1,1 @@
+test/debug_repro.ml: List Printf Shasta_core

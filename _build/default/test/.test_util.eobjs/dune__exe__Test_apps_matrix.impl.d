@@ -1,0 +1,1 @@
+test/test_apps_matrix.ml: Alcotest List Shasta_apps Shasta_core

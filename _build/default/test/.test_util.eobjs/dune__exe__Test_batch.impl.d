@@ -1,0 +1,1 @@
+test/test_batch.ml: Alcotest Array Hashtbl Shasta_core

@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Bytes List Shasta_core Shasta_mem Shasta_util

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Printf Shasta_apps Shasta_core Shasta_experiments String

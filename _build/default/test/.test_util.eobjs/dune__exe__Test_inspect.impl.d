@@ -1,0 +1,1 @@
+test/test_inspect.ml: Alcotest Array Buffer Format List Shasta_core Shasta_mem String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Hashtbl Printf Shasta_core Shasta_mem

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Gen Int64 List QCheck QCheck_alcotest Shasta_mem

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Gen List QCheck QCheck_alcotest Shasta_net

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Gen Printf QCheck QCheck_alcotest Shasta_core Shasta_mem Shasta_util

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Int64 Option Printf Shasta_core Shasta_mem Shasta_sim Shasta_util

@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Array Printf Shasta_apps Shasta_core Shasta_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Gen List QCheck QCheck_alcotest Shasta_sim

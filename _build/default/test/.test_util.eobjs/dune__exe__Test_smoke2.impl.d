@@ -1,0 +1,1 @@
+test/test_smoke2.ml: Alcotest Shasta_core

@@ -1,0 +1,1 @@
+test/test_smp.ml: Alcotest Array Float List Printf Shasta_core Shasta_mem Shasta_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Int64 List QCheck QCheck_alcotest Shasta_util String

@@ -1,0 +1,42 @@
+(* Diagnostic driver: run a workload under a configurable machine and,
+   if it hits the cycle limit (a hang) or fails verification, dump the
+   full machine state via Inspect.
+
+     dune exec test/debug_hang.exe -- water-nsq smp 16 4 [vg]
+     SHASTA_TRACE_BLOCK=0x2800 dune exec test/debug_hang.exe -- ... *)
+
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module App = Shasta_apps.App
+
+let () =
+  let argv = Sys.argv in
+  let app = if Array.length argv > 1 then argv.(1) else "water-nsq" in
+  let variant =
+    if Array.length argv > 2 && argv.(2) = "base" then Config.Base else Config.Smp
+  in
+  let nprocs = if Array.length argv > 3 then int_of_string argv.(3) else 16 in
+  let clustering = if Array.length argv > 4 then int_of_string argv.(4) else 4 in
+  let vg = Array.length argv > 5 && argv.(5) = "vg" in
+  let clustering = if variant = Config.Base then 1 else clustering in
+  let maker = Shasta_apps.Registry.find app in
+  let inst = maker ~vg () in
+  let heap = (max (1 lsl 22) inst.App.heap_bytes + 4095) / 4096 * 4096 in
+  let cfg =
+    Config.create ~variant ~nprocs ~clustering ~heap_bytes:heap
+      ~max_cycles:200_000_000 ()
+  in
+  let h = Dsm.create cfg in
+  let body, verify = inst.App.setup h in
+  Printf.printf "%s: %s\n%!" inst.App.name inst.App.workload;
+  (try
+     Dsm.run h body;
+     let v = verify h in
+     Printf.printf "verdict: ok=%b %s\n" v.App.ok v.App.detail;
+     match Shasta_core.Inspect.check_invariants (Dsm.machine h) with
+     | [] -> print_endline "invariants: ok"
+     | vs -> List.iter (fun s -> print_endline ("INVARIANT: " ^ s)) vs
+   with Shasta_sim.Engine.Cycle_limit p ->
+     Printf.printf "CYCLE LIMIT hit on proc %d - machine state:\n%!" p;
+     Shasta_core.Inspect.dump Format.std_formatter (Dsm.machine h));
+  Format.pp_print_flush Format.std_formatter ()

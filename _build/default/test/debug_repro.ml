@@ -1,0 +1,49 @@
+(* Standalone reproduction of the batched-coherence counterexample that
+   exposed the private-raise-during-downgrade bug (DESIGN.md 5b, last
+   item; pinned as a regression in test_regressions.ml). Prints nothing
+   but the invariant verdict when healthy.
+
+     dune exec test/debug_repro.exe *)
+
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+
+let value s t = float_of_int ((s * 1000) + t)
+
+let () =
+  let nprocs = 8 and clustering = 2 and block_size = 64 and nslots = 16 and nphases = 3 and seed = 709 in
+  let cfg = Config.create ~variant:Config.Smp ~nprocs ~clustering ~seed ~heap_bytes:(4*1024*1024) () in
+  let h = Dsm.create cfg in
+  let arr = Dsm.alloc h ~block_size (8 * nslots) in
+  Printf.printf "arr=0x%x\n%!" arr;
+  let bar = Dsm.alloc_barrier h in
+  Dsm.run h (fun ctx ->
+      let p = Dsm.pid ctx in
+      for t = 0 to nphases - 1 do
+        let lo = p * nslots / nprocs and hi = (p + 1) * nslots / nprocs in
+        if hi > lo then
+          Dsm.batch ctx [ (arr + (8 * lo), 8 * (hi - lo), Dsm.W) ]
+            (fun () ->
+              for s = lo to hi - 1 do
+                Dsm.Batch.store_float ctx (arr + (8 * s)) (value s t)
+              done);
+        Dsm.barrier ctx bar;
+        let q = (p + t + 1) mod nprocs in
+        let qlo = q * nslots / nprocs and qhi = (q + 1) * nslots / nprocs in
+        if qhi > qlo then begin
+          Dsm.batch ctx [ (arr + (8 * qlo), 8 * (qhi - qlo), Dsm.R) ]
+            (fun () ->
+              for s = qlo to qhi - 1 do
+                let v = Dsm.Batch.load_float ctx (arr + (8 * s)) in
+                if v <> value s t then
+                  Printf.eprintf "MISMATCH p%d phase%d slot%d (batched): got %g want %g\n%!" p t s v (value s t)
+              done);
+          let v = Dsm.load_float ctx (arr + (8 * qlo)) in
+          if v <> value qlo t then
+            Printf.eprintf "MISMATCH p%d phase%d slot%d (plain): got %g want %g\n%!" p t qlo v (value qlo t)
+        end;
+        Dsm.barrier ctx bar
+      done);
+  (match Shasta_core.Inspect.check_invariants (Dsm.machine h) with
+   | [] -> print_endline "invariants ok"
+   | vs -> List.iter print_endline vs)

@@ -1,0 +1,42 @@
+(* Broader application matrix: smaller scale across more machine shapes,
+   including the §5 extension flags — every combination must verify. *)
+
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module App = Shasta_apps.App
+module Registry = Shasta_apps.Registry
+
+let run_app name ~scale ~vg cfg () =
+  let maker = Registry.find name in
+  let inst = maker ~vg ~scale () in
+  let h = Dsm.create cfg in
+  let body, verify = inst.App.setup h in
+  Dsm.run h body;
+  let v = verify h in
+  Alcotest.(check bool) (name ^ ": " ^ v.App.detail) true v.App.ok
+
+let heap = 16 * 1024 * 1024
+
+let cfg_base2 = Config.create ~variant:Config.Base ~nprocs:2 ~heap_bytes:heap ()
+
+let cfg_smp6x2 =
+  Config.create ~variant:Config.Smp ~nprocs:6 ~clustering:2 ~procs_per_node:2
+    ~heap_bytes:heap ()
+
+let cfg_smp12x4 =
+  Config.create ~variant:Config.Smp ~nprocs:12 ~clustering:4 ~heap_bytes:heap ()
+
+let cfg_ext =
+  Config.create ~variant:Config.Smp ~nprocs:16 ~clustering:4 ~smp_sync:true
+    ~share_directory:true ~heap_bytes:heap ()
+
+let cases name =
+  ( name,
+    [
+      Alcotest.test_case "base-2" `Quick (run_app name ~scale:0.5 ~vg:false cfg_base2);
+      Alcotest.test_case "smp-6x2" `Quick (run_app name ~scale:0.5 ~vg:false cfg_smp6x2);
+      Alcotest.test_case "smp-12x4" `Quick (run_app name ~scale:0.5 ~vg:false cfg_smp12x4);
+      Alcotest.test_case "smp-16x4+ext" `Quick (run_app name ~scale:0.5 ~vg:true cfg_ext);
+    ] )
+
+let () = Alcotest.run "apps-matrix" (List.map cases Registry.names)

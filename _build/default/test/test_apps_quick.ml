@@ -1,0 +1,44 @@
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module App = Shasta_apps.App
+
+let run_app (inst : App.instance) ~variant ~nprocs ~clustering () =
+  let cfg =
+    Config.create ~variant ~nprocs ~clustering
+      ~heap_bytes:(max (8 * 1024 * 1024) inst.App.heap_bytes) ()
+  in
+  let h = Dsm.create cfg in
+  let body, verify = inst.App.setup h in
+  Dsm.run h body;
+  Shasta_core.Inspect.assert_invariants (Dsm.machine h);
+  let v = verify h in
+  Alcotest.(check bool) (inst.App.name ^ ": " ^ v.App.detail) true v.App.ok
+
+let cases name (mk : App.maker) =
+  ( name,
+    [
+      Alcotest.test_case "seq" `Quick
+        (run_app (mk ()) ~variant:Config.Base ~nprocs:1 ~clustering:1);
+      Alcotest.test_case "base-8" `Quick
+        (run_app (mk ()) ~variant:Config.Base ~nprocs:8 ~clustering:1);
+      Alcotest.test_case "smp-16x4" `Quick
+        (run_app (mk ()) ~variant:Config.Smp ~nprocs:16 ~clustering:4);
+      Alcotest.test_case "smp-16x4-vg" `Quick
+        (run_app (mk ~vg:true ()) ~variant:Config.Smp ~nprocs:16 ~clustering:4);
+    ] )
+
+let () =
+  Alcotest.run "apps-quick"
+    [
+      cases "lu" Shasta_apps.Lu.instance;
+      cases "lu-contig" Shasta_apps.Lu_contig.instance;
+      cases "ocean" Shasta_apps.Ocean.instance;
+      cases "water-nsq" Shasta_apps.Water_nsq.instance;
+      cases "water-sp" Shasta_apps.Water_sp.instance;
+      cases "barnes" Shasta_apps.Barnes.instance;
+      cases "fmm" Shasta_apps.Fmm.instance;
+      cases "raytrace" Shasta_apps.Raytrace.instance;
+      cases "volrend" Shasta_apps.Volrend.instance;
+    ]
+
+(* appended: ocean *)

@@ -1,0 +1,169 @@
+(* Batched-access semantics (§3.4.4): combined checks, multi-block
+   ranges, concurrent batch writers on one block, and the deferred
+   invalid-flag machinery under contention. *)
+
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module Machine = Shasta_core.Machine
+module Stats = Shasta_core.Stats
+
+let smp () = Dsm.create (Config.create ~variant:Config.Smp ~nprocs:8 ~clustering:4 ())
+
+let test_batch_basic () =
+  let h = smp () in
+  let a = Dsm.alloc h ~block_size:64 128 in
+  Dsm.run h (fun ctx ->
+      if Dsm.pid ctx = 0 then begin
+        Dsm.batch ctx
+          [ (a, 128, Dsm.W) ]
+          (fun () ->
+            for i = 0 to 15 do
+              Dsm.Batch.store_float ctx (a + (8 * i)) (float_of_int i)
+            done);
+        Dsm.batch ctx
+          [ (a, 128, Dsm.R) ]
+          (fun () ->
+            for i = 0 to 15 do
+              Alcotest.(check (float 0.0)) "read back" (float_of_int i)
+                (Dsm.Batch.load_float ctx (a + (8 * i)))
+            done)
+      end)
+
+let test_batch_spanning_blocks () =
+  let h = smp () in
+  (* A 72-byte record crossing a 64-byte block boundary. *)
+  let a = Dsm.alloc h ~block_size:64 256 in
+  let rec_base = a + 40 in
+  Dsm.run h (fun ctx ->
+      if Dsm.pid ctx = 1 then
+        Dsm.batch ctx
+          [ (rec_base, 72, Dsm.W) ]
+          (fun () ->
+            for k = 0 to 8 do
+              Dsm.Batch.store_float ctx (rec_base + (8 * k)) (float_of_int (100 + k))
+            done));
+  for k = 0 to 8 do
+    Alcotest.(check (float 0.0)) "spanning record" (float_of_int (100 + k))
+      (Dsm.peek_float h (rec_base + (8 * k)))
+  done
+
+let test_concurrent_batch_writers_one_block () =
+  (* Two processors on different nodes batch-write disjoint halves of
+     the same 2048-byte block repeatedly; every write must survive the
+     replay/merge machinery. *)
+  let h = smp () in
+  let a = Dsm.alloc h ~block_size:2048 2048 in
+  let rounds = 12 in
+  Dsm.run h (fun ctx ->
+      let p = Dsm.pid ctx in
+      if p = 0 || p = 4 then begin
+        let base = if p = 0 then a else a + 1024 in
+        for r = 1 to rounds do
+          Dsm.batch ctx
+            [ (base, 1024, Dsm.W) ]
+            (fun () ->
+              for i = 0 to 127 do
+                Dsm.Batch.store_float ctx (base + (8 * i))
+                  (float_of_int ((r * 1000) + i))
+              done);
+          Dsm.compute ctx 100
+        done
+      end);
+  for i = 0 to 127 do
+    Alcotest.(check (float 0.0)) "half A final" (float_of_int ((rounds * 1000) + i))
+      (Dsm.peek_float h (a + (8 * i)));
+    Alcotest.(check (float 0.0)) "half B final" (float_of_int ((rounds * 1000) + i))
+      (Dsm.peek_float h (a + 1024 + (8 * i)))
+  done
+
+let test_batch_reader_vs_writer () =
+  (* Ocean-style parity split within one block: the writer updates even
+     slots while the reader consumes odd slots — element-race-free but
+     block-contended. Reads must never see the flag or torn values. *)
+  let h = smp () in
+  let a = Dsm.alloc h ~block_size:512 512 in
+  for i = 0 to 63 do
+    Dsm.poke_float h (a + (8 * i)) 1.0
+  done;
+  let rounds = 15 in
+  Dsm.run h (fun ctx ->
+      let p = Dsm.pid ctx in
+      if p = 0 then
+        for r = 1 to rounds do
+          Dsm.batch ctx
+            [ (a, 512, Dsm.W) ]
+            (fun () ->
+              for i = 0 to 31 do
+                Dsm.Batch.store_float ctx (a + (16 * i)) (float_of_int r)
+              done);
+          Dsm.compute ctx 300
+        done
+      else if p = 4 then
+        for _ = 1 to rounds do
+          Dsm.batch ctx
+            [ (a, 512, Dsm.R) ]
+            (fun () ->
+              for i = 0 to 31 do
+                let v = Dsm.Batch.load_float ctx (a + (16 * i) + 8) in
+                Alcotest.(check (float 0.0)) "odd slots stable" 1.0 v
+              done);
+          Dsm.compute ctx 300
+        done);
+  Alcotest.(check (float 0.0)) "writer's last round"
+    (float_of_int rounds)
+    (Dsm.peek_float h a)
+
+let test_no_deferred_flags_after_quiescence () =
+  let h = smp () in
+  let a = Dsm.alloc h ~block_size:1024 4096 in
+  Dsm.run h (fun ctx ->
+      let p = Dsm.pid ctx in
+      for r = 0 to 9 do
+        Dsm.batch ctx
+          [ (a + (1024 * (p mod 4)), 512, Dsm.W) ]
+          (fun () ->
+            for i = 0 to 63 do
+              Dsm.Batch.store_float ctx
+                (a + (1024 * (p mod 4)) + (8 * i))
+                (float_of_int r)
+            done)
+      done);
+  let m = Dsm.machine h in
+  Array.iter
+    (fun ns ->
+      Alcotest.(check int) "no deferred flags" 0
+        (Hashtbl.length ns.Machine.deferred_flags);
+      Alcotest.(check int) "no batch lines" 0 (Hashtbl.length ns.Machine.batch_lines);
+      Alcotest.(check int) "no registered wranges" 0
+        (Hashtbl.length ns.Machine.batch_wranges))
+    m.Machine.nodes
+
+let test_batch_counts_checks () =
+  let h = smp () in
+  let a = Dsm.alloc h ~block_size:64 256 in
+  Dsm.run h (fun ctx ->
+      if Dsm.pid ctx = 0 then
+        Dsm.batch ctx [ (a, 256, Dsm.R) ] (fun () -> ()));
+  Alcotest.(check int) "one check per covered line" 4
+    (Dsm.aggregate_stats h).Stats.checks
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "write/read roundtrip" `Quick test_batch_basic;
+          Alcotest.test_case "block-spanning range" `Quick
+            test_batch_spanning_blocks;
+          Alcotest.test_case "check accounting" `Quick test_batch_counts_checks;
+        ] );
+      ( "contention",
+        [
+          Alcotest.test_case "concurrent writers one block" `Quick
+            test_concurrent_batch_writers_one_block;
+          Alcotest.test_case "reader vs writer parity" `Quick
+            test_batch_reader_vs_writer;
+          Alcotest.test_case "clean after quiescence" `Quick
+            test_no_deferred_flags_after_quiescence;
+        ] );
+    ]

@@ -1,0 +1,68 @@
+(* Smoke tests of the experiment harness at reduced scale: each renderer
+   must produce a non-empty table containing its expected structure, and
+   the run cache must be shared across experiments. *)
+
+module E = Shasta_experiments
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let check_contains out parts =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (Printf.sprintf "output mentions %S" p) true
+        (contains out p))
+    parts
+
+let scale = 0.4
+
+let test_table1 () =
+  let out = E.Exp_checking_overhead.render ~scale () in
+  check_contains out [ "Table 1"; "lu"; "raytrace"; "average overhead" ]
+
+let test_micro () =
+  let out = E.Exp_microbench.render () in
+  check_contains out [ "2-hop"; "downgrade"; "us" ]
+
+let test_fig8 () =
+  let out = E.Exp_downgrade_dist.render ~procs:[ 8 ] ~scale () in
+  check_contains out [ "Figure 8"; "0 msgs"; "3 msgs"; "water-nsq" ]
+
+let test_speedup_consistency () =
+  (* The cached sequential run must make speedups consistent across
+     calls: same spec, same result. *)
+  let s1 = E.Runner.speedup (E.Runner.base ~scale "ocean" 4) in
+  let s2 = E.Runner.speedup (E.Runner.base ~scale "ocean" 4) in
+  Alcotest.(check (float 0.0)) "deterministic cached speedup" s1 s2;
+  Alcotest.(check bool) "cache populated" true (E.Runner.cache_size () > 0)
+
+let test_run_verifies () =
+  let r = E.Runner.run (E.Runner.smp ~scale "water-sp" 8 ~clustering:4) in
+  Alcotest.(check bool) "verdict ok" true r.E.Runner.verdict.Shasta_apps.App.ok;
+  Alcotest.(check bool) "produced misses" true
+    (Shasta_core.Stats.total_misses r.E.Runner.stats > 0)
+
+let test_messages_split () =
+  let r = E.Runner.run (E.Runner.smp ~scale "ocean" 8 ~clustering:4) in
+  Alcotest.(check bool) "remote messages" true (r.E.Runner.remote_msgs > 0);
+  Alcotest.(check bool) "downgrades counted separately" true
+    (r.E.Runner.downgrade_msgs >= 0 && r.E.Runner.local_msgs >= 0)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "renderers",
+        [
+          Alcotest.test_case "table 1" `Quick test_table1;
+          Alcotest.test_case "microbench" `Quick test_micro;
+          Alcotest.test_case "figure 8" `Quick test_fig8;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "cached speedups" `Quick test_speedup_consistency;
+          Alcotest.test_case "runs verify" `Quick test_run_verifies;
+          Alcotest.test_case "message split" `Quick test_messages_split;
+        ] );
+    ]

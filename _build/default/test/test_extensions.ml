@@ -1,0 +1,94 @@
+(* The paper's §5 planned extensions, implemented behind configuration
+   flags: hierarchical SMP barriers and shared directory state. *)
+
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module Stats = Shasta_core.Stats
+
+let run_barrier_workload ~smp_sync =
+  let cfg =
+    Config.create ~variant:Config.Smp ~nprocs:16 ~clustering:4 ~smp_sync ()
+  in
+  let h = Dsm.create cfg in
+  let arr = Dsm.alloc_floats h 16 in
+  let b = Dsm.alloc_barrier h in
+  let rounds = 10 in
+  Dsm.run h (fun ctx ->
+      let p = Dsm.pid ctx in
+      for r = 1 to rounds do
+        Dsm.store_float ctx (arr + (8 * p)) (float_of_int r);
+        Dsm.barrier ctx b;
+        (* Everyone checks everyone's phase value: release semantics. *)
+        for q = 0 to 15 do
+          let v = Dsm.load_float ctx (arr + (8 * q)) in
+          Alcotest.(check (float 0.0)) "phase value" (float_of_int r) v
+        done;
+        Dsm.barrier ctx b
+      done);
+  h
+
+let test_hierarchical_barrier_correct () = ignore (run_barrier_workload ~smp_sync:true)
+
+let test_hierarchical_barrier_fewer_messages () =
+  let plain = run_barrier_workload ~smp_sync:false in
+  let hier = run_barrier_workload ~smp_sync:true in
+  let total h = Dsm.messages_remote h + Dsm.messages_local h in
+  Alcotest.(check bool)
+    (Printf.sprintf "hier (%d) < plain (%d)" (total hier) (total plain))
+    true
+    (total hier < total plain)
+
+let run_dirshare_workload ~share_directory =
+  let cfg =
+    Config.create ~variant:Config.Smp ~nprocs:8 ~clustering:4 ~share_directory ()
+  in
+  let h = Dsm.create cfg in
+  (* Data homed at proc 1; procs 0,2,3 (same node as the home) and the
+     other node both access it. *)
+  let arr = Dsm.alloc_floats h ~home:1 64 in
+  let l = Dsm.alloc_lock h in
+  let b = Dsm.alloc_barrier h in
+  Dsm.run h (fun ctx ->
+      for _ = 1 to 6 do
+        Dsm.lock ctx l;
+        for i = 0 to 7 do
+          let v = Dsm.load_float ctx (arr + (8 * i)) in
+          Dsm.store_float ctx (arr + (8 * i)) (v +. 1.0)
+        done;
+        Dsm.unlock ctx l
+      done;
+      Dsm.barrier ctx b);
+  (h, arr)
+
+let test_dirshare_values () =
+  let h, arr = run_dirshare_workload ~share_directory:true in
+  for i = 0 to 7 do
+    Alcotest.(check (float 0.0)) "counter" 48.0 (Dsm.peek_float h (arr + (8 * i)))
+  done
+
+let test_dirshare_fewer_local_messages () =
+  let plain, _ = run_dirshare_workload ~share_directory:false in
+  let shared, _ = run_dirshare_workload ~share_directory:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "shared (%d) < plain (%d)"
+       (Dsm.messages_local shared) (Dsm.messages_local plain))
+    true
+    (Dsm.messages_local shared < Dsm.messages_local plain)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "smp-sync",
+        [
+          Alcotest.test_case "hierarchical barrier correct" `Quick
+            test_hierarchical_barrier_correct;
+          Alcotest.test_case "fewer sync messages" `Quick
+            test_hierarchical_barrier_fewer_messages;
+        ] );
+      ( "share-directory",
+        [
+          Alcotest.test_case "lock counters correct" `Quick test_dirshare_values;
+          Alcotest.test_case "fewer local messages" `Quick
+            test_dirshare_fewer_local_messages;
+        ] );
+    ]

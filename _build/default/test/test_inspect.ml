@@ -1,0 +1,106 @@
+(* The introspection module itself: healthy machines pass, corrupted
+   machines are caught, dumps render. *)
+
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module Machine = Shasta_core.Machine
+module Inspect = Shasta_core.Inspect
+module State_table = Shasta_mem.State_table
+module Layout = Shasta_mem.Layout
+
+let run_small () =
+  let cfg = Config.create ~variant:Config.Smp ~nprocs:8 ~clustering:4 () in
+  let h = Dsm.create cfg in
+  let arr = Dsm.alloc_floats h ~block_size:64 32 in
+  let b = Dsm.alloc_barrier h in
+  Dsm.run h (fun ctx ->
+      let p = Dsm.pid ctx in
+      (* Everyone shares the block, then proc 0 takes it exclusive so
+         exactly one node holds a valid copy at the end. *)
+      ignore (Dsm.load_float ctx arr);
+      Dsm.barrier ctx b;
+      if p = 0 then Dsm.store_float ctx arr 1.0;
+      Dsm.barrier ctx b);
+  (h, arr)
+
+let test_healthy () =
+  let h, _ = run_small () in
+  Alcotest.(check (list string)) "no violations" []
+    (Inspect.check_invariants (Dsm.machine h))
+
+let test_detects_double_exclusive () =
+  let h, arr = run_small () in
+  let m = Dsm.machine h in
+  let line = Layout.line_of m.Machine.layout arr in
+  (* Corrupt: force a second node exclusive. *)
+  Array.iter
+    (fun ns -> State_table.set ns.Machine.table line State_table.Exclusive)
+    m.Machine.nodes;
+  Alcotest.(check bool) "violation reported" true
+    (Inspect.check_invariants m <> [])
+
+let test_detects_private_overstate () =
+  let h, arr = run_small () in
+  let m = Dsm.machine h in
+  let line = Layout.line_of m.Machine.layout arr in
+  (* Find a node that does NOT hold the block and pretend one of its
+     processors has it exclusive. *)
+  let victim = ref None in
+  Array.iteri
+    (fun n ns ->
+      if
+        !victim = None
+        && State_table.get ns.Machine.table line = State_table.Invalid
+      then victim := Some n)
+    m.Machine.nodes;
+  (match !victim with
+  | Some n ->
+    let p = List.hd (Config.procs_of_node m.Machine.cfg n) in
+    State_table.set m.Machine.privates.(p) line State_table.Exclusive
+  | None -> Alcotest.fail "expected an invalid node");
+  Alcotest.(check bool) "violation reported" true
+    (Inspect.check_invariants m <> [])
+
+let test_detects_missing_flag () =
+  let h, arr = run_small () in
+  let m = Dsm.machine h in
+  let line = Layout.line_of m.Machine.layout arr in
+  (* Find an invalid copy and scribble application-looking data into it
+     without fixing the state. *)
+  let hit = ref false in
+  Array.iter
+    (fun ns ->
+      if
+        (not !hit)
+        && State_table.get ns.Machine.table line = State_table.Invalid
+      then begin
+        hit := true;
+        Shasta_mem.Image.store_float ns.Machine.image arr 3.5
+      end)
+    m.Machine.nodes;
+  Alcotest.(check bool) "had an invalid copy" true !hit;
+  Alcotest.(check bool) "violation reported" true
+    (Inspect.check_invariants m <> [])
+
+let test_dump_renders () =
+  let h, arr = run_small () in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Inspect.dump ~block:arr ppf (Dsm.machine h);
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "mentions machine" true
+    (String.length out > 50 && String.sub out 0 3 = "===")
+
+let () =
+  Alcotest.run "inspect"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "healthy machine" `Quick test_healthy;
+          Alcotest.test_case "double exclusive" `Quick test_detects_double_exclusive;
+          Alcotest.test_case "private overstate" `Quick test_detects_private_overstate;
+          Alcotest.test_case "missing flag" `Quick test_detects_missing_flag;
+        ] );
+      ("dump", [ Alcotest.test_case "renders" `Quick test_dump_renders ]);
+    ]

@@ -1,0 +1,127 @@
+(* Machine-level state: allocation-time ownership, home placement,
+   geometry queries and synchronization object allocation. *)
+
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module Machine = Shasta_core.Machine
+module Image = Shasta_mem.Image
+module State_table = Shasta_mem.State_table
+module Layout = Shasta_mem.Layout
+
+let machine () =
+  Machine.create (Config.create ~variant:Config.Smp ~nprocs:8 ~clustering:4 ())
+
+let test_initial_ownership () =
+  let m = machine () in
+  let a = Machine.alloc m ~block_size:64 ~home:5 256 in
+  let home_node = Machine.node_of m 5 in
+  let line = Layout.line_of m.Machine.layout a in
+  Array.iteri
+    (fun n ns ->
+      let st = State_table.get ns.Machine.table line in
+      if n = home_node then
+        Alcotest.(check bool) "home node exclusive" true (st = State_table.Exclusive)
+      else begin
+        Alcotest.(check bool) "other nodes invalid" true (st = State_table.Invalid);
+        Alcotest.(check bool) "flag stamped" true
+          (Image.is_flag64 (Image.load64 ns.Machine.image a))
+      end)
+    m.Machine.nodes;
+  Alcotest.(check int) "home lookup" 5 (Machine.home_of_block m a)
+
+let test_home_proc_private_exclusive () =
+  let m = machine () in
+  let a = Machine.alloc m ~block_size:64 ~home:2 64 in
+  let line = Layout.line_of m.Machine.layout a in
+  Array.iteri
+    (fun p tbl ->
+      let expect = if p = 2 then State_table.Exclusive else State_table.Invalid in
+      Alcotest.(check bool) (Printf.sprintf "private of %d" p) true
+        (State_table.get tbl line = expect))
+    m.Machine.privates
+
+let test_place_moves_ownership () =
+  let m = machine () in
+  let a = Machine.alloc m 8192 in
+  Machine.place m ~addr:a ~len:8192 ~proc:6;
+  Alcotest.(check int) "rehomed" 6 (Machine.home_of_block m a);
+  let line = Layout.line_of m.Machine.layout a in
+  let new_node = Machine.node_of m 6 in
+  Array.iteri
+    (fun n ns ->
+      let st = State_table.get ns.Machine.table line in
+      Alcotest.(check bool) "only new node valid" true
+        (if n = new_node then st = State_table.Exclusive
+         else st = State_table.Invalid))
+    m.Machine.nodes
+
+let test_block_geometry () =
+  let m = machine () in
+  let a = Machine.alloc m ~block_size:512 2048 in
+  Alcotest.(check int) "base of middle addr" a (Machine.block_base m (a + 300));
+  Alcotest.(check int) "block size" 512 (Machine.block_size m (a + 300));
+  Alcotest.(check int) "second block base" (a + 512) (Machine.block_base m (a + 700))
+
+let test_sync_allocation () =
+  let m = machine () in
+  let l1 = Machine.alloc_lock m and l2 = Machine.alloc_lock m in
+  Alcotest.(check bool) "distinct locks" true (l1 <> l2);
+  let b = Machine.alloc_barrier m in
+  Alcotest.(check bool) "barrier exists" true (Hashtbl.mem m.Machine.barriers b);
+  Alcotest.(check bool) "lock homes in range" true
+    (Machine.lock_home m l1 >= 0 && Machine.lock_home m l1 < 8)
+
+let test_fresh_machine_quiescent () =
+  let m = machine () in
+  ignore (Machine.alloc m 1024);
+  (* No processors have run: not quiescent only because procs unfinished. *)
+  Alcotest.(check bool) "not quiescent before run" false (Machine.quiescent m)
+
+let test_node_partition () =
+  let cfg = Config.create ~variant:Config.Smp ~nprocs:8 ~clustering:2 () in
+  Alcotest.(check int) "nnodes" 4 (Config.nnodes cfg);
+  Alcotest.(check (list int)) "node 1 procs" [ 2; 3 ] (Config.procs_of_node cfg 1)
+
+let test_config_validation () =
+  Alcotest.check_raises "base clustering"
+    (Invalid_argument "Config.create: Base-Shasta requires clustering = 1")
+    (fun () ->
+      ignore (Config.create ~variant:Config.Base ~nprocs:4 ~clustering:2 ()));
+  Alcotest.check_raises "clustering divides node"
+    (Invalid_argument "Config.create: clustering must divide procs_per_node")
+    (fun () ->
+      ignore (Config.create ~variant:Config.Smp ~nprocs:8 ~clustering:3 ()))
+
+let test_poke_peek () =
+  let cfg = Config.create ~variant:Config.Smp ~nprocs:8 ~clustering:4 () in
+  let h = Dsm.create cfg in
+  let a = Dsm.alloc_floats h ~home:3 4 in
+  Dsm.poke_float h (a + 8) 2.5;
+  Dsm.poke_int h (a + 16) 77;
+  Alcotest.(check (float 0.0)) "peek float" 2.5 (Dsm.peek_float h (a + 8));
+  Alcotest.(check int) "peek int" 77 (Dsm.peek_int h (a + 16))
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "ownership",
+        [
+          Alcotest.test_case "initial at home" `Quick test_initial_ownership;
+          Alcotest.test_case "home private exclusive" `Quick
+            test_home_proc_private_exclusive;
+          Alcotest.test_case "place moves ownership" `Quick
+            test_place_moves_ownership;
+        ] );
+      ( "geometry",
+        [
+          Alcotest.test_case "blocks" `Quick test_block_geometry;
+          Alcotest.test_case "node partition" `Quick test_node_partition;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+      ( "setup",
+        [
+          Alcotest.test_case "sync allocation" `Quick test_sync_allocation;
+          Alcotest.test_case "quiescence" `Quick test_fresh_machine_quiescent;
+          Alcotest.test_case "poke/peek" `Quick test_poke_peek;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Tests for the memory substrate: layout, block map, allocator, state
+   tables, images and the invalid-flag mechanism. *)
+
+module Layout = Shasta_mem.Layout
+module Block_map = Shasta_mem.Block_map
+module Home_map = Shasta_mem.Home_map
+module State_table = Shasta_mem.State_table
+module Image = Shasta_mem.Image
+module Alloc = Shasta_mem.Alloc
+
+let layout () = Layout.create ~line_size:64 ~heap_bytes:(1 lsl 20) ()
+
+let test_layout () =
+  let l = layout () in
+  Alcotest.(check int) "nlines" (1 lsl 14) (Layout.nlines l);
+  Alcotest.(check int) "line of 0" 0 (Layout.line_of l 0);
+  Alcotest.(check int) "line of 63" 0 (Layout.line_of l 63);
+  Alcotest.(check int) "line of 64" 1 (Layout.line_of l 64);
+  Alcotest.(check int) "addr of line" 128 (Layout.addr_of_line l 2);
+  Alcotest.(check bool) "valid" true (Layout.valid_addr l 0);
+  Alcotest.(check bool) "invalid" false (Layout.valid_addr l (1 lsl 20));
+  Alcotest.(check int) "page of line 63" 0 (Layout.page_of_line l 63);
+  Alcotest.(check int) "page of line 64" 1 (Layout.page_of_line l 64)
+
+let test_block_map () =
+  let l = layout () in
+  let b = Block_map.create l in
+  Alcotest.(check int) "default 1-line block" 5 (Block_map.base_line b 5);
+  Block_map.define b ~first_line:8 ~nlines:4;
+  for line = 8 to 11 do
+    Alcotest.(check int) "base" 8 (Block_map.base_line b line);
+    Alcotest.(check int) "len" 4 (Block_map.block_nlines b line)
+  done;
+  Alcotest.(check int) "outside" 12 (Block_map.base_line b 12);
+  Alcotest.(check int) "base addr" (8 * 64) (Block_map.base_addr b l (9 * 64));
+  Alcotest.(check int) "size" 256 (Block_map.size_bytes b l (9 * 64))
+
+let test_alloc_default_granularity () =
+  let l = layout () in
+  let bm = Block_map.create l in
+  let a = Alloc.create l bm in
+  (* Small object: one block covering the object. *)
+  let small = Alloc.alloc a 200 in
+  Alcotest.(check int) "small is one block" 256 (Block_map.size_bytes bm l small);
+  (* Large object: line-sized blocks. *)
+  let large = Alloc.alloc a 4096 in
+  Alcotest.(check int) "large uses 64B blocks" 64 (Block_map.size_bytes bm l large);
+  (* Explicit hint. *)
+  let hinted = Alloc.alloc a ~block_size:512 4096 in
+  Alcotest.(check int) "hinted block" 512 (Block_map.size_bytes bm l hinted);
+  (* Objects never share a line. *)
+  let x = Alloc.alloc a 8 in
+  let y = Alloc.alloc a 8 in
+  Alcotest.(check bool) "line-aligned objects" true
+    (Layout.line_of l x <> Layout.line_of l y)
+
+let test_alloc_exhaustion () =
+  let l = Layout.create ~line_size:64 ~heap_bytes:4096 () in
+  let a = Alloc.create l (Block_map.create l) in
+  ignore (Alloc.alloc a 4000);
+  Alcotest.check_raises "heap exhausted"
+    (Failure "Alloc.alloc: shared heap exhausted") (fun () ->
+      ignore (Alloc.alloc a 4096))
+
+let test_state_table () =
+  let l = layout () in
+  let t = State_table.create l in
+  Alcotest.(check bool) "starts invalid" true
+    (State_table.get t 0 = State_table.Invalid);
+  State_table.set t 0 State_table.Exclusive;
+  State_table.set_pending t 0 true;
+  State_table.set_pending_downgrade t 0 true;
+  Alcotest.(check bool) "state kept" true
+    (State_table.get t 0 = State_table.Exclusive);
+  Alcotest.(check bool) "pending" true (State_table.pending t 0);
+  Alcotest.(check bool) "pdg" true (State_table.pending_downgrade t 0);
+  State_table.set t 0 State_table.Shared;
+  Alcotest.(check bool) "bits independent of state" true
+    (State_table.pending t 0 && State_table.pending_downgrade t 0);
+  State_table.set_pending t 0 false;
+  Alcotest.(check bool) "pending cleared" false (State_table.pending t 0);
+  Alcotest.(check bool) "pdg survives" true (State_table.pending_downgrade t 0)
+
+let test_state_order () =
+  let open State_table in
+  Alcotest.(check bool) "E>=S" true (base_geq Exclusive Shared);
+  Alcotest.(check bool) "S>=S" true (base_geq Shared Shared);
+  Alcotest.(check bool) "S<E" false (base_geq Shared Exclusive);
+  Alcotest.(check bool) "I<S" false (base_geq Invalid Shared)
+
+let test_image_values () =
+  let l = layout () in
+  let img = Image.create l in
+  Image.store_float img 0 3.25;
+  Alcotest.(check (float 0.0)) "float roundtrip" 3.25 (Image.load_float img 0);
+  Image.store_int img 8 (-42);
+  Alcotest.(check int) "int roundtrip" (-42) (Image.load_int img 8)
+
+let test_invalid_flag () =
+  let l = layout () in
+  let img = Image.create l in
+  Image.store_float img 0 1.5;
+  Image.write_invalid_flag img ~addr:0 ~len:64;
+  Alcotest.(check bool) "flag detected" true (Image.is_flag64 (Image.load64 img 0));
+  Alcotest.(check bool) "whole line stamped" true
+    (Image.is_flag64 (Image.load64 img 56));
+  Image.store_float img 0 2.5;
+  Alcotest.(check bool) "data clears flag" false
+    (Image.is_flag64 (Image.load64 img 0))
+
+let test_write_bytes_skip () =
+  let l = layout () in
+  let img = Image.create l in
+  Image.store_int img 0 1;
+  Image.store_int img 8 2;
+  Image.store_int img 16 3;
+  let incoming = Bytes.make 24 '\xff' in
+  Image.write_bytes img ~addr:0 ~skip:[ (8, 8) ] incoming;
+  Alcotest.(check bool) "overwritten" true (Image.load_int img 0 <> 1);
+  Alcotest.(check int) "skipped range preserved" 2 (Image.load_int img 8);
+  Alcotest.(check bool) "tail overwritten" true (Image.load_int img 16 <> 3)
+
+let test_home_map () =
+  let l = layout () in
+  let hm = Home_map.create l ~nprocs:4 in
+  Alcotest.(check int) "page 0 round robin" 0 (Home_map.home_of_line hm l 0);
+  Alcotest.(check int) "page 1 round robin" 1 (Home_map.home_of_line hm l 64);
+  Home_map.set_home hm l ~addr:0 ~len:8192 ~proc:3;
+  Alcotest.(check int) "pinned" 3 (Home_map.home_of_line hm l 0);
+  Alcotest.(check int) "pinned second page" 3 (Home_map.home_of_line hm l 64);
+  Alcotest.(check int) "beyond range untouched" 2 (Home_map.home_of_line hm l 128)
+
+let prop_flag_pattern_is_rare =
+  QCheck.Test.make ~name:"random doubles are not the flag pattern" ~count:1000
+    QCheck.float (fun f -> not (Image.is_flag64 (Int64.bits_of_float f)))
+
+let prop_alloc_disjoint =
+  QCheck.Test.make ~name:"allocations are disjoint" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 1 2000))
+    (fun sizes ->
+      let l = Layout.create ~heap_bytes:(1 lsl 20) () in
+      let a = Alloc.create l (Block_map.create l) in
+      let spans = List.map (fun s -> (Alloc.alloc a s, s)) sizes in
+      let rec disjoint = function
+        | [] -> true
+        | (base, size) :: rest ->
+          List.for_all
+            (fun (b2, s2) -> b2 >= base + size || base >= b2 + s2)
+            rest
+          && disjoint rest
+      in
+      disjoint spans)
+
+let () =
+  Alcotest.run "mem"
+    [
+      ("layout", [ Alcotest.test_case "geometry" `Quick test_layout ]);
+      ("block-map", [ Alcotest.test_case "define/query" `Quick test_block_map ]);
+      ( "alloc",
+        [
+          Alcotest.test_case "granularity" `Quick test_alloc_default_granularity;
+          Alcotest.test_case "exhaustion" `Quick test_alloc_exhaustion;
+          QCheck_alcotest.to_alcotest prop_alloc_disjoint;
+        ] );
+      ( "state-table",
+        [
+          Alcotest.test_case "bits" `Quick test_state_table;
+          Alcotest.test_case "ordering" `Quick test_state_order;
+        ] );
+      ( "image",
+        [
+          Alcotest.test_case "values" `Quick test_image_values;
+          Alcotest.test_case "invalid flag" `Quick test_invalid_flag;
+          Alcotest.test_case "merge skip" `Quick test_write_bytes_skip;
+          QCheck_alcotest.to_alcotest prop_flag_pattern_is_rare;
+        ] );
+      ("home-map", [ Alcotest.test_case "placement" `Quick test_home_map ]);
+    ]

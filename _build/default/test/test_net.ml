@@ -1,0 +1,106 @@
+(* Tests for the interconnect model. *)
+
+module Topology = Shasta_net.Topology
+module Link = Shasta_net.Link
+module Network = Shasta_net.Network
+
+let test_topology () =
+  let t = Topology.create ~nprocs:16 ~procs_per_node:4 in
+  Alcotest.(check int) "nodes" 4 (Topology.nnodes t);
+  Alcotest.(check int) "node of 5" 1 (Topology.node_of t 5);
+  Alcotest.(check bool) "same node" true (Topology.same_node t 4 7);
+  Alcotest.(check bool) "different nodes" false (Topology.same_node t 3 4);
+  Alcotest.(check (list int)) "procs of node 2" [ 8; 9; 10; 11 ]
+    (Topology.procs_of_node t 2)
+
+let test_topology_partial () =
+  let t = Topology.create ~nprocs:6 ~procs_per_node:4 in
+  Alcotest.(check int) "two nodes" 2 (Topology.nnodes t);
+  Alcotest.(check (list int)) "partial node" [ 4; 5 ] (Topology.procs_of_node t 1)
+
+let test_link_costs () =
+  let l = Link.default in
+  let local = Link.transfer_cycles l ~same_node:true ~size:64 in
+  let remote = Link.transfer_cycles l ~same_node:false ~size:64 in
+  Alcotest.(check bool) "remote slower" true (remote > local);
+  let small = Link.transfer_cycles l ~same_node:false ~size:16 in
+  Alcotest.(check bool) "size matters" true (remote > small)
+
+let test_network_delivery () =
+  let topo = Topology.create ~nprocs:4 ~procs_per_node:2 in
+  let net = Network.create topo Link.default in
+  Network.send net ~src:0 ~dst:1 ~now:0 ~size:16 "hello";
+  Alcotest.(check (option (pair int string))) "not arrived yet" None
+    (Network.poll net ~dst:1 ~now:0);
+  (match Network.peek_arrival net ~dst:1 with
+  | Some t ->
+    Alcotest.(check (option (pair int string)))
+      "arrives at its timestamp" (Some (0, "hello"))
+      (Network.poll net ~dst:1 ~now:t)
+  | None -> Alcotest.fail "message lost");
+  Alcotest.(check int) "queue drained" 0 (Network.queued net ~dst:1)
+
+let test_network_fifo_per_pair () =
+  (* A small message sent after a large one must not overtake it. *)
+  let topo = Topology.create ~nprocs:2 ~procs_per_node:1 in
+  let net = Network.create topo Link.default in
+  Network.send net ~src:0 ~dst:1 ~now:0 ~size:8192 "big";
+  Network.send net ~src:0 ~dst:1 ~now:1 ~size:0 "small";
+  let got = ref [] in
+  let rec drain now =
+    match Network.poll net ~dst:1 ~now with
+    | Some (_, m) ->
+      got := m :: !got;
+      drain now
+    | None -> if Network.queued net ~dst:1 > 0 then drain (now + 100)
+  in
+  drain 0;
+  Alcotest.(check (list string)) "FIFO per pair" [ "big"; "small" ] (List.rev !got)
+
+let test_network_counters () =
+  let topo = Topology.create ~nprocs:4 ~procs_per_node:2 in
+  let net = Network.create topo Link.default in
+  Network.send net ~src:0 ~dst:1 ~now:0 ~size:10 "local";
+  Network.send net ~src:0 ~dst:2 ~now:0 ~size:20 "remote";
+  Network.send net ~src:3 ~dst:2 ~now:0 ~size:30 "local2";
+  Alcotest.(check int) "local count" 2 (Network.sent_local net);
+  Alcotest.(check int) "remote count" 1 (Network.sent_remote net);
+  Alcotest.(check int) "remote bytes" 20 (Network.bytes_remote net)
+
+let prop_arrival_order =
+  QCheck.Test.make ~name:"poll yields messages in arrival order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 30) (pair (int_bound 3) (int_bound 500)))
+    (fun sends ->
+      let topo = Topology.create ~nprocs:4 ~procs_per_node:2 in
+      let net = Network.create topo Link.default in
+      List.iter
+        (fun (src, now) -> Network.send net ~src ~dst:3 ~now ~size:8 now)
+        sends;
+      let rec drain acc now =
+        match Network.poll net ~dst:3 ~now with
+        | Some (_, _) -> (
+          (* record the arrival time used *)
+          match Network.peek_arrival net ~dst:3 with
+          | _ -> drain (now :: acc) now)
+        | None -> if Network.queued net ~dst:3 > 0 then drain acc (now + 50) else acc
+      in
+      let _ = drain [] 0 in
+      true)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "basic" `Quick test_topology;
+          Alcotest.test_case "partial node" `Quick test_topology_partial;
+        ] );
+      ("link", [ Alcotest.test_case "costs" `Quick test_link_costs ]);
+      ( "network",
+        [
+          Alcotest.test_case "delivery" `Quick test_network_delivery;
+          Alcotest.test_case "fifo per pair" `Quick test_network_fifo_per_pair;
+          Alcotest.test_case "counters" `Quick test_network_counters;
+          QCheck_alcotest.to_alcotest prop_arrival_order;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* Property-based coherence tests: randomized data-race-free programs
+   must observe exactly the values a sequential execution would produce,
+   under every protocol variant, clustering degree and block size. *)
+
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module Machine = Shasta_core.Machine
+
+(* A phased ownership program: in phase t, slot s is written (with a
+   value derived from (s, t)) by its owner hash(s,t) mod nprocs; after a
+   barrier every processor reads a derived subset of slots and checks
+   the value from the last phase that wrote them. *)
+
+let owner ~nprocs s t = (s * 2654435761) lxor (t * 40503) |> abs |> fun v -> v mod nprocs
+
+let writes_in_phase ~nslots s t = (s + t) mod 3 = 0 && s < nslots
+
+let value s t = float_of_int ((s * 1000) + t)
+
+let last_write ~nslots s upto =
+  let rec go t = if t < 0 then None else if writes_in_phase ~nslots s t then Some t else go (t - 1) in
+  go upto
+
+let run_phased ~variant ~nprocs ~clustering ~block_size ~nslots ~nphases ~seed =
+  let cfg =
+    Config.create ~variant ~nprocs ~clustering ~seed
+      ~heap_bytes:(4 * 1024 * 1024) ()
+  in
+  let h = Dsm.create cfg in
+  let arr = Dsm.alloc h ~block_size (8 * nslots) in
+  let bar = Dsm.alloc_barrier h in
+  let ok = ref true in
+  Dsm.run h (fun ctx ->
+      let p = Dsm.pid ctx in
+      for t = 0 to nphases - 1 do
+        for s = 0 to nslots - 1 do
+          if writes_in_phase ~nslots s t && owner ~nprocs s t = p then
+            Dsm.store_float ctx (arr + (8 * s)) (value s t)
+        done;
+        Dsm.barrier ctx bar;
+        (* read a per-proc, per-phase subset *)
+        for s = 0 to nslots - 1 do
+          if (s + t + p) mod 4 = 0 then begin
+            let v = Dsm.load_float ctx (arr + (8 * s)) in
+            let expect =
+              match last_write ~nslots s t with
+              | Some tw -> value s tw
+              | None -> 0.0
+            in
+            if v <> expect then ok := false
+          end
+        done;
+        Dsm.barrier ctx bar
+      done);
+  Shasta_core.Inspect.assert_invariants (Dsm.machine h);
+  !ok && Machine.quiescent (Dsm.machine h)
+
+let gen_config =
+  QCheck.Gen.(
+    let* variant_i = int_bound 1 in
+    let* clustering = oneofl [ 1; 2; 4 ] in
+    let variant, clustering =
+      if variant_i = 0 then (Config.Base, 1) else (Config.Smp, clustering)
+    in
+    let* nprocs = oneofl [ 4; 8; 16 ] in
+    let* block_size = oneofl [ 64; 128; 512; 2048 ] in
+    let* nslots = int_range 8 96 in
+    let* nphases = int_range 2 6 in
+    let* seed = int_bound 10000 in
+    return (variant, nprocs, clustering, block_size, nslots, nphases, seed))
+
+let print_config (variant, nprocs, clustering, block_size, nslots, nphases, seed) =
+  Printf.sprintf "%s nprocs=%d cl=%d bs=%d slots=%d phases=%d seed=%d"
+    (match variant with Config.Base -> "base" | Config.Smp -> "smp")
+    nprocs clustering block_size nslots nphases seed
+
+let prop_phased_coherence =
+  QCheck.Test.make ~name:"phased DRF program sees sequential values" ~count:70
+    (QCheck.make ~print:print_config gen_config)
+    (fun (variant, nprocs, clustering, block_size, nslots, nphases, seed) ->
+      run_phased ~variant ~nprocs ~clustering ~block_size ~nslots ~nphases ~seed)
+
+(* Lock-based counters: random assignment of counters to locks; every
+   increment must survive. *)
+let run_counters ~variant ~clustering ~ncounters ~rounds ~seed =
+  let nprocs = 8 in
+  let cfg = Config.create ~variant ~nprocs ~clustering ~seed () in
+  let h = Dsm.create cfg in
+  let arr = Dsm.alloc h ~block_size:64 (8 * ncounters) in
+  let locks = Array.init ncounters (fun _ -> Dsm.alloc_lock h) in
+  Dsm.run h (fun ctx ->
+      let prng = Dsm.prng ctx in
+      for _ = 1 to rounds do
+        let c = Shasta_util.Prng.int prng ncounters in
+        Dsm.lock ctx locks.(c);
+        let v = Dsm.load_float ctx (arr + (8 * c)) in
+        Dsm.store_float ctx (arr + (8 * c)) (v +. 1.0);
+        Dsm.unlock ctx locks.(c)
+      done);
+  Shasta_core.Inspect.assert_invariants (Dsm.machine h);
+  let total = ref 0.0 in
+  for c = 0 to ncounters - 1 do
+    total := !total +. Dsm.peek_float h (arr + (8 * c))
+  done;
+  !total = float_of_int (nprocs * rounds)
+
+let prop_lock_counters =
+  QCheck.Test.make ~name:"lock-protected increments never lost" ~count:40
+    QCheck.(
+      make
+        ~print:(fun (cl, nc, r, s) -> Printf.sprintf "cl=%d nc=%d rounds=%d seed=%d" cl nc r s)
+        Gen.(
+          let* cl = oneofl [ 1; 2; 4 ] in
+          let* nc = int_range 1 6 in
+          let* r = int_range 5 25 in
+          let* s = int_bound 1000 in
+          return (cl, nc, r, s)))
+    (fun (clustering, ncounters, rounds, seed) ->
+      run_counters ~variant:Config.Smp ~clustering ~ncounters ~rounds ~seed
+      && run_counters ~variant:Config.Base ~clustering:1 ~ncounters ~rounds ~seed)
+
+(* Directory invariant: after a quiescent run, every block with a valid
+   copy somewhere has a consistent directory entry — no busy entries and
+   at most one exclusive node. *)
+let run_and_check_directory ~seed =
+  let nprocs = 8 in
+  let cfg = Config.create ~variant:Config.Smp ~nprocs ~clustering:4 ~seed () in
+  let h = Dsm.create cfg in
+  let nslots = 64 in
+  let arr = Dsm.alloc h ~block_size:128 (8 * nslots) in
+  let bar = Dsm.alloc_barrier h in
+  Dsm.run h (fun ctx ->
+      let prng = Dsm.prng ctx in
+      for _ = 1 to 50 do
+        let s = Shasta_util.Prng.int prng nslots in
+        if Shasta_util.Prng.bool prng then
+          Dsm.store_float ctx (arr + (8 * s)) 1.0
+        else ignore (Dsm.load_float ctx (arr + (8 * s)))
+      done;
+      Dsm.barrier ctx bar);
+  let m = Dsm.machine h in
+  let ok = ref (Machine.quiescent m) in
+  let layout = m.Machine.layout in
+  for s = 0 to nslots - 1 do
+    let line = Shasta_mem.Layout.line_of layout (arr + (8 * s)) in
+    let exclusive_nodes = ref 0 and valid_nodes = ref 0 in
+    Array.iter
+      (fun ns ->
+        match Shasta_mem.State_table.get ns.Machine.table line with
+        | Shasta_mem.State_table.Exclusive ->
+          incr exclusive_nodes;
+          incr valid_nodes
+        | Shasta_mem.State_table.Shared -> incr valid_nodes
+        | Shasta_mem.State_table.Invalid -> ())
+      m.Machine.nodes;
+    if !exclusive_nodes > 1 then ok := false;
+    if !exclusive_nodes = 1 && !valid_nodes > 1 then ok := false;
+    if !valid_nodes = 0 then ok := false
+  done;
+  !ok
+
+let prop_directory_invariants =
+  QCheck.Test.make ~name:"single-writer/multi-reader state invariant" ~count:40
+    QCheck.(make ~print:string_of_int Gen.(int_bound 10000))
+    (fun seed -> run_and_check_directory ~seed)
+
+(* Phased ownership where writers use batched stores over whole slot
+   ranges and readers mix batched and plain loads: exercises batch
+   markers, deferred flags and store replay under randomized geometry. *)
+let run_phased_batched ~clustering ~block_size ~nslots ~nphases ~seed =
+  let nprocs = 8 in
+  let cfg =
+    Config.create ~variant:Config.Smp ~nprocs ~clustering ~seed
+      ~heap_bytes:(4 * 1024 * 1024) ()
+  in
+  let h = Dsm.create cfg in
+  let arr = Dsm.alloc h ~block_size (8 * nslots) in
+  let bar = Dsm.alloc_barrier h in
+  let ok = ref true in
+  Dsm.run h (fun ctx ->
+      let p = Dsm.pid ctx in
+      for t = 0 to nphases - 1 do
+        (* Each phase partitions slots into contiguous per-proc spans;
+           the owner writes its whole span in one batch. *)
+        let lo = p * nslots / nprocs and hi = (p + 1) * nslots / nprocs in
+        if hi > lo then
+          Dsm.batch ctx
+            [ (arr + (8 * lo), 8 * (hi - lo), Dsm.W) ]
+            (fun () ->
+              for s = lo to hi - 1 do
+                Dsm.Batch.store_float ctx (arr + (8 * s)) (value s t)
+              done);
+        Dsm.barrier ctx bar;
+        (* Readers check a rotating span with batched loads and a few
+           plain loads. *)
+        let q = (p + t + 1) mod nprocs in
+        let qlo = q * nslots / nprocs and qhi = (q + 1) * nslots / nprocs in
+        if qhi > qlo then begin
+          Dsm.batch ctx
+            [ (arr + (8 * qlo), 8 * (qhi - qlo), Dsm.R) ]
+            (fun () ->
+              for s = qlo to qhi - 1 do
+                if Dsm.Batch.load_float ctx (arr + (8 * s)) <> value s t then
+                  ok := false
+              done);
+          if Dsm.load_float ctx (arr + (8 * qlo)) <> value qlo t then ok := false
+        end;
+        Dsm.barrier ctx bar
+      done);
+  Shasta_core.Inspect.assert_invariants (Dsm.machine h);
+  !ok
+
+let prop_phased_batched =
+  QCheck.Test.make ~name:"batched DRF program sees sequential values" ~count:50
+    QCheck.(
+      make
+        ~print:(fun (cl, bs, ns, np, s) ->
+          Printf.sprintf "cl=%d bs=%d slots=%d phases=%d seed=%d" cl bs ns np s)
+        Gen.(
+          let* cl = oneofl [ 1; 2; 4 ] in
+          let* bs = oneofl [ 64; 256; 2048 ] in
+          let* ns = int_range 16 120 in
+          let* np = int_range 2 5 in
+          let* s = int_bound 10000 in
+          return (cl, bs, ns, np, s)))
+    (fun (clustering, block_size, nslots, nphases, seed) ->
+      run_phased_batched ~clustering ~block_size ~nslots ~nphases ~seed)
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "coherence",
+        [
+          QCheck_alcotest.to_alcotest prop_phased_coherence;
+          QCheck_alcotest.to_alcotest prop_phased_batched;
+          QCheck_alcotest.to_alcotest prop_lock_counters;
+          QCheck_alcotest.to_alcotest prop_directory_invariants;
+        ] );
+    ]

@@ -1,0 +1,50 @@
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+
+let run_case ~variant ~nprocs ~clustering () =
+  let cfg = Config.create ~variant ~nprocs ~clustering () in
+  let h = Dsm.create cfg in
+  let n = 256 in
+  let arr = Dsm.alloc_floats h n in
+  let b = Dsm.alloc_barrier h in
+  let l = Dsm.alloc_lock h in
+  let sum_addr = Dsm.alloc_floats h 1 in
+  Dsm.run h (fun ctx ->
+      let p = Dsm.pid ctx and np = Dsm.nprocs ctx in
+      (* phase 1: each proc writes its slice *)
+      let chunk = n / np in
+      for i = p * chunk to ((p + 1) * chunk) - 1 do
+        Dsm.store_float ctx (arr + (8 * i)) (float_of_int i);
+        Dsm.compute ctx 10
+      done;
+      Dsm.barrier ctx b;
+      (* phase 2: each proc reads the whole array and accumulates *)
+      let local = ref 0.0 in
+      for i = 0 to n - 1 do
+        local := !local +. Dsm.load_float ctx (arr + (8 * i));
+        Dsm.compute ctx 5
+      done;
+      Dsm.lock ctx l;
+      let s = Dsm.load_float ctx sum_addr in
+      Dsm.store_float ctx sum_addr (s +. !local);
+      Dsm.unlock ctx l;
+      Dsm.barrier ctx b;
+      if p = 0 then begin
+        let expect = float_of_int (n * (n - 1) / 2 * np) in
+        let got = Dsm.load_float ctx sum_addr in
+        Alcotest.(check (float 1e-9)) "sum" expect got
+      end)
+
+let () =
+  Alcotest.run "smoke"
+    [
+      ( "dsm",
+        [
+          Alcotest.test_case "base-1" `Quick (run_case ~variant:Config.Base ~nprocs:1 ~clustering:1);
+          Alcotest.test_case "base-4" `Quick (run_case ~variant:Config.Base ~nprocs:4 ~clustering:1);
+          Alcotest.test_case "base-8" `Quick (run_case ~variant:Config.Base ~nprocs:8 ~clustering:1);
+          Alcotest.test_case "smp-4x2" `Quick (run_case ~variant:Config.Smp ~nprocs:4 ~clustering:2);
+          Alcotest.test_case "smp-8x4" `Quick (run_case ~variant:Config.Smp ~nprocs:8 ~clustering:4);
+          Alcotest.test_case "smp-16x4" `Quick (run_case ~variant:Config.Smp ~nprocs:16 ~clustering:4);
+        ] );
+    ]

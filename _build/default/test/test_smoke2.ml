@@ -1,0 +1,93 @@
+module Dsm = Shasta_core.Dsm
+module Config = Shasta_core.Config
+module Stats = Shasta_core.Stats
+
+(* Migratory counter: each proc in turn increments every slot under a lock.
+   Exercises upgrades, readex, invalidations, downgrades. *)
+let migratory ~variant ~nprocs ~clustering () =
+  let cfg = Config.create ~variant ~nprocs ~clustering ~seed:7 () in
+  let h = Dsm.create cfg in
+  let slots = 64 in
+  let arr = Dsm.alloc_floats h slots in
+  let l = Dsm.alloc_lock h in
+  let b = Dsm.alloc_barrier h in
+  let rounds = 8 in
+  Dsm.run h (fun ctx ->
+      for _r = 1 to rounds do
+        Dsm.lock ctx l;
+        for i = 0 to slots - 1 do
+          let v = Dsm.load_float ctx (arr + (8 * i)) in
+          Dsm.store_float ctx (arr + (8 * i)) (v +. 1.0);
+          Dsm.compute ctx 3
+        done;
+        Dsm.unlock ctx l;
+        Dsm.compute ctx 50
+      done;
+      Dsm.barrier ctx b;
+      if Dsm.pid ctx = 0 then
+        for i = 0 to slots - 1 do
+          let v = Dsm.load_float ctx (arr + (8 * i)) in
+          Alcotest.(check (float 1e-9)) "count" (float_of_int (rounds * Dsm.nprocs ctx)) v
+        done);
+  let agg = Dsm.aggregate_stats h in
+  if nprocs > 1 then
+    Alcotest.(check bool) "misses occurred" true (Stats.total_misses agg > 0);
+  if clustering > 1 then
+    Alcotest.(check bool) "downgrades occurred" true (agg.Stats.downgrades_sent > 0)
+
+(* Batched stencil: write-batch own row, read-batch neighbours. *)
+let batched ~variant ~nprocs ~clustering () =
+  let cfg = Config.create ~variant ~nprocs ~clustering ~seed:3 () in
+  let h = Dsm.create cfg in
+  let cols = 32 in
+  let rows = nprocs * 4 in
+  let grid = Dsm.alloc_floats h (rows * cols) in
+  let addr r c = grid + (8 * ((r * cols) + c)) in
+  let b = Dsm.alloc_barrier h in
+  Dsm.run h (fun ctx ->
+      let p = Dsm.pid ctx and np = Dsm.nprocs ctx in
+      let r0 = p * rows / np and r1 = (p + 1) * rows / np in
+      (* init own rows *)
+      for r = r0 to r1 - 1 do
+        Dsm.batch ctx [ (addr r 0, cols * 8, Dsm.W) ] (fun () ->
+            for c = 0 to cols - 1 do
+              Dsm.Batch.store_float ctx (addr r c) (float_of_int ((r * cols) + c))
+            done)
+      done;
+      Dsm.barrier ctx b;
+      (* smooth: each row becomes avg of row above/below *)
+      let acc = ref 0.0 in
+      for r = r0 to r1 - 1 do
+        let up = (r + rows - 1) mod rows and dn = (r + 1) mod rows in
+        Dsm.batch ctx
+          [ (addr up 0, cols * 8, Dsm.R); (addr dn 0, cols * 8, Dsm.R) ]
+          (fun () ->
+            for c = 0 to cols - 1 do
+              acc :=
+                !acc
+                +. (Dsm.Batch.load_float ctx (addr up c)
+                   +. Dsm.Batch.load_float ctx (addr dn c))
+                   /. 2.0
+            done)
+      done;
+      Dsm.barrier ctx b;
+      ignore !acc);
+  let total = float_of_int (rows * cols * (rows * cols - 1) / 2) in
+  ignore total
+
+let () =
+  Alcotest.run "smoke2"
+    [
+      ( "migratory",
+        [
+          Alcotest.test_case "base-4" `Quick (migratory ~variant:Config.Base ~nprocs:4 ~clustering:1);
+          Alcotest.test_case "smp-8x4" `Quick (migratory ~variant:Config.Smp ~nprocs:8 ~clustering:4);
+          Alcotest.test_case "smp-16x4" `Quick (migratory ~variant:Config.Smp ~nprocs:16 ~clustering:4);
+          Alcotest.test_case "smp-16x2" `Quick (migratory ~variant:Config.Smp ~nprocs:16 ~clustering:2);
+        ] );
+      ( "batched",
+        [
+          Alcotest.test_case "base-8" `Quick (batched ~variant:Config.Base ~nprocs:8 ~clustering:1);
+          Alcotest.test_case "smp-16x4" `Quick (batched ~variant:Config.Smp ~nprocs:16 ~clustering:4);
+        ] );
+    ]

@@ -1,0 +1,142 @@
+(* Unit and property tests for shasta_util. *)
+
+module Prng = Shasta_util.Prng
+module Bitset = Shasta_util.Bitset
+module Histogram = Shasta_util.Histogram
+module Text_table = Shasta_util.Text_table
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let test_prng_copy_independent () =
+  let a = Prng.create 7 in
+  ignore (Prng.int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.int64 a) (Prng.int64 b)
+
+let test_prng_split_diverges () =
+  let a = Prng.create 7 in
+  let b = Prng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.int64 a) (Prng.int64 b) then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 4)
+
+let test_prng_bounds () =
+  let a = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int a 17 in
+    Alcotest.(check bool) "int in range" true (v >= 0 && v < 17);
+    let f = Prng.float a 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_bitset_basic () =
+  let s = Bitset.of_list [ 3; 5; 5; 0 ] in
+  Alcotest.(check (list int)) "elements" [ 0; 3; 5 ] (Bitset.elements s);
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem" true (Bitset.mem 5 s);
+  Alcotest.(check bool) "not mem" false (Bitset.mem 4 s);
+  let s' = Bitset.remove 5 s in
+  Alcotest.(check bool) "removed" false (Bitset.mem 5 s');
+  Alcotest.(check bool) "original untouched" true (Bitset.mem 5 s)
+
+let test_bitset_ops () =
+  let a = Bitset.of_list [ 1; 2; 3 ] and b = Bitset.of_list [ 2; 3; 4 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ]
+    (Bitset.elements (Bitset.union a b));
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] (Bitset.elements (Bitset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 1 ] (Bitset.elements (Bitset.diff a b))
+
+let test_histogram () =
+  let h = Histogram.create () in
+  Histogram.add h 0;
+  Histogram.add h 0;
+  Histogram.add_many h 3 4;
+  Alcotest.(check int) "count 0" 2 (Histogram.count h 0);
+  Alcotest.(check int) "count 3" 4 (Histogram.count h 3);
+  Alcotest.(check int) "total" 6 (Histogram.total h);
+  Alcotest.(check (list int)) "keys" [ 0; 3 ] (Histogram.keys h);
+  Alcotest.(check (float 1e-9)) "fraction" (2.0 /. 6.0) (Histogram.fraction h 0);
+  let h2 = Histogram.create () in
+  Histogram.add h2 0;
+  let m = Histogram.merge h h2 in
+  Alcotest.(check int) "merged" 3 (Histogram.count m 0);
+  Alcotest.(check int) "inputs unchanged" 2 (Histogram.count h 0)
+
+let test_table_render () =
+  let out =
+    Text_table.render ~header:[ "a"; "bb" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "four lines" 4 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check int) "equal widths" (String.length (List.hd lines))
+        (String.length l))
+    lines
+
+let test_bars () =
+  Alcotest.(check string) "full bar" (String.make 10 '#')
+    (Text_table.bar ~width:10 1.0);
+  Alcotest.(check string) "clamped" (String.make 10 '#')
+    (Text_table.bar ~width:10 2.0);
+  Alcotest.(check string) "empty" "" (Text_table.bar ~width:10 0.0);
+  Alcotest.(check string) "stacked" "##--"
+    (Text_table.stacked_bar ~width:4 [ ('#', 0.5); ('-', 0.5) ])
+
+(* Property tests. *)
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset of_list/elements roundtrip" ~count:200
+    QCheck.(list (int_bound 62))
+    (fun l ->
+      let sorted = List.sort_uniq compare l in
+      Bitset.elements (Bitset.of_list l) = sorted)
+
+let prop_bitset_cardinal =
+  QCheck.Test.make ~name:"bitset cardinal = |elements|" ~count:200
+    QCheck.(list (int_bound 62))
+    (fun l ->
+      let s = Bitset.of_list l in
+      Bitset.cardinal s = List.length (Bitset.elements s))
+
+let prop_histogram_total =
+  QCheck.Test.make ~name:"histogram total = sum of counts" ~count:200
+    QCheck.(list (int_bound 10))
+    (fun l ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) l;
+      Histogram.total h = List.length l)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "copy" `Quick test_prng_copy_independent;
+          Alcotest.test_case "split" `Quick test_prng_split_diverges;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "set ops" `Quick test_bitset_ops;
+          QCheck_alcotest.to_alcotest prop_bitset_roundtrip;
+          QCheck_alcotest.to_alcotest prop_bitset_cardinal;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basic" `Quick test_histogram;
+          QCheck_alcotest.to_alcotest prop_histogram_total;
+        ] );
+      ( "text-table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "bars" `Quick test_bars;
+        ] );
+    ]
