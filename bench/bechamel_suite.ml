@@ -80,17 +80,57 @@ let test_downgrade =
                List.iter (fun a -> ignore (Dsm.load_float ctx a)) blocks;
              Dsm.barrier ctx b)))
 
+(* Scheduler pair: the same compute-and-barrier workload under the
+   always-yield scheduler (an effect switch at every scheduling point)
+   and under run-ahead (switches elided below the lookahead horizon).
+   Virtual-time results are identical by construction — the golden test
+   asserts it — so the host-time delta is the pure cost of performed
+   effect switches. *)
+let sched_workload run_ahead () =
+  (* Base variant: every processor pair is network-coupled, so the
+     lookahead matrix is positive everywhere and elision can bite. (SMP
+     siblings share a node, carry zero lookahead, and bound run-ahead —
+     the reason full-figure wins are modest.) *)
+  let cfg = Config.create ~variant:Config.Base ~nprocs:8 () in
+  let h = Dsm.create cfg in
+  let b = Dsm.alloc_barrier h in
+  (* Enough scheduling points that switch cost, not machine
+     construction, dominates the run. *)
+  Dsm.run ~run_ahead h (fun ctx ->
+      for _ = 1 to 4 do
+        for _ = 1 to 8192 do
+          Dsm.compute ctx 3
+        done;
+        Dsm.barrier ctx b
+      done)
+
+let test_always_yield =
+  Test.make ~name:"scheduler/yield-per-advance"
+    (Staged.stage (sched_workload false))
+
+let test_run_ahead =
+  Test.make ~name:"scheduler/run-ahead" (Staged.stage (sched_workload true))
+
 let tests =
-  [ test_check_hit; test_store_hit; test_batch; test_remote_miss; test_downgrade ]
+  [
+    test_check_hit;
+    test_store_hit;
+    test_batch;
+    test_remote_miss;
+    test_downgrade;
+    test_always_yield;
+    test_run_ahead;
+  ]
 
 let render () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
-  in
+  (* Each run constructs a whole simulated machine (multi-MB images), so
+     samples are milliseconds and GC-stabilized; keep the sample budget
+     small or the suite takes tens of minutes for no extra precision. *)
+  let cfg = Benchmark.cfg ~limit:25 ~quota:(Time.second 0.25) () in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     "\nBechamel micro-benchmarks (host cost of simulator fast paths)\n";

@@ -6,8 +6,14 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table1 fig3  # selected targets
      dune exec bench/main.exe -- --quick      # reduced problem scale
+     dune exec bench/main.exe -- --json fig3  # also write BENCH_fig3.json
    Targets: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 micro anl
-            ablation bechamel *)
+            ablation bechamel
+
+   With --json, each target additionally writes BENCH_<target>.json in
+   the current directory recording host wall-clock seconds and the
+   simulated cycles executed for that target (cache hits from earlier
+   targets contribute zero cycles). *)
 
 module E = Shasta_experiments
 
@@ -28,9 +34,25 @@ let targets : (string * (scale:float -> string)) list =
     ("bechamel", fun ~scale:_ -> Bechamel_suite.render ());
   ]
 
+let write_json ~name ~wall ~cycles ~cached_runs =
+  let file = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"target\": %S,\n\
+    \  \"wall_seconds\": %.3f,\n\
+    \  \"simulated_cycles\": %d,\n\
+    \  \"simulated_seconds\": %.6f,\n\
+    \  \"cached_runs\": %d\n\
+     }\n"
+    name wall cycles (E.Runner.seconds cycles) cached_runs;
+  close_out oc;
+  Printf.printf "[wrote %s]\n" file
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
+  let json = List.mem "--json" args in
   let scale = if quick then 0.5 else 1.0 in
   let wanted = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
   let wanted = if wanted = [] then List.map fst targets else wanted in
@@ -39,12 +61,17 @@ let () =
       match List.assoc_opt name targets with
       | Some render ->
         let t0 = Unix.gettimeofday () in
+        let c0 = E.Runner.simulated_cycles () in
         let out = render ~scale in
+        let wall = Unix.gettimeofday () -. t0 in
         print_string out;
         Printf.printf "\n[%s completed in %.1fs host time; %d cached runs]\n"
-          name
-          (Unix.gettimeofday () -. t0)
+          name wall
           (E.Runner.cache_size ());
+        if json then
+          write_json ~name ~wall
+            ~cycles:(E.Runner.simulated_cycles () - c0)
+            ~cached_runs:(E.Runner.cache_size ());
         flush stdout
       | None ->
         Printf.eprintf "unknown target %S; known: %s\n" name

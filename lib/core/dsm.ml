@@ -57,12 +57,32 @@ let prng ctx = (Protocol.proc_state ctx.p).Machine.prng
 let ccost ctx c =
   if (Protocol.machine ctx.p).Machine.cfg.Config.checks_enabled then c else 0
 
-let run h body =
+(* Per-pair run-ahead lookahead (see Engine.run): processors in the same
+   coherence node share memory images, state tables and miss entries, so
+   their interactions carry no minimum delay. Any other pair can only
+   interact through the network, whose cheapest message costs the
+   zero-byte transfer time of their link class (intra-node queues for
+   processors colocated on a physical node, the remote link
+   otherwise). *)
+let lookahead_matrix m =
+  let cfg = m.Machine.cfg in
+  let n = cfg.Config.nprocs in
+  Array.init (n * n) (fun k ->
+      let p = k / n and q = k mod n in
+      if p = q || Machine.node_of m p = Machine.node_of m q then 0
+      else
+        let same_node = Shasta_net.Topology.same_node m.Machine.topo p q in
+        Shasta_net.Link.transfer_cycles cfg.Config.link ~same_node ~size:0)
+
+let run ?(run_ahead = true) h body =
   assert (not h.ran);
   h.ran <- true;
   let cfg = h.m.Machine.cfg in
   ignore
     (Engine.run ~nprocs:cfg.Config.nprocs ~max_cycles:cfg.Config.max_cycles
+       ~run_ahead
+       ~arrival_hint:(Machine.earliest_arrival h.m)
+       ~lookahead:(lookahead_matrix h.m)
        (fun eng ->
          let p = Protocol.make_ctx h.m eng in
          let ctx = { p; in_batch = false } in

@@ -46,9 +46,12 @@ val poke_int : handle -> int -> int -> unit
 
 type ctx
 
-val run : handle -> (ctx -> unit) -> unit
+val run : ?run_ahead:bool -> handle -> (ctx -> unit) -> unit
 (** Execute the body on every simulated processor and drain the
-    protocol. May be called once per handle. *)
+    protocol. May be called once per handle. [run_ahead] (default
+    [true]) enables the slack-based run-ahead scheduler; disabling it
+    forces a full scheduler round-trip at every charged scheduling
+    point, which must produce the identical simulation. *)
 
 val pid : ctx -> int
 val nprocs : ctx -> int

@@ -120,6 +120,11 @@ let create (cfg : Config.t) =
 
 let node_of t p = t.procs.(p).node
 
+(* Earliest in-flight message arrival for [p], [max_int] when none: the
+   engine's run-ahead horizon hint. Called once per scheduler resume, so
+   it must not allocate. *)
+let earliest_arrival t p = Network.earliest_arrival t.net ~dst:p
+
 let home_of_block t block =
   Home_map.home_of_line t.homes t.layout (Layout.line_of t.layout block)
 

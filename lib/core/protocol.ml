@@ -764,12 +764,18 @@ and handle_barrier_arrive ctx ~barrier =
 (* ------------------------------------------------------------------ *)
 (* Polling.                                                            *)
 
-let poll ctx =
+let poll_handle ctx =
   let cat =
     if ctx.ps.Machine.category = Stats.Task then Stats.Message
     else ctx.ps.Machine.category
   in
   let rec loop () =
+    (* A scheduling point must precede every queue observation: past the
+       run-ahead horizon the queue may still be missing virtually-earlier
+       sends from processors frozen behind this one, and each handled
+       message advances the clock, so re-check before every probe. Below
+       the horizon the yield is elided and this costs one comparison. *)
+    Engine.yield ctx.eng;
     match
       Network.poll ctx.m.Machine.net ~dst:(pid ctx) ~now:(Engine.now ctx.eng)
     with
@@ -780,21 +786,39 @@ let poll ctx =
   in
   with_category ctx cat loop
 
+let poll ctx =
+  (* The scheduling point must come before the emptiness observation for
+     the same reason as above; after it, an arrival-time compare decides
+     the common nothing-due case without entering the handler loop (no
+     category bookkeeping, no closure). *)
+  Engine.yield ctx.eng;
+  if
+    Network.earliest_arrival ctx.m.Machine.net ~dst:(pid ctx)
+    <= Engine.now ctx.eng
+  then poll_handle ctx
+
 let op_tick ctx =
   ctx.ps.Machine.ops_since_poll <- ctx.ps.Machine.ops_since_poll + 1;
   if ctx.ps.Machine.ops_since_poll >= ctx.t.Timing.poll_interval_ops then begin
     ctx.ps.Machine.ops_since_poll <- 0;
     if ctx.m.Machine.cfg.Config.checks_enabled then
       charge ctx ctx.t.Timing.poll;
-    poll ctx;
-    Engine.yield ctx.eng
+    poll ctx
   end
 
+(* Spin-wait, re-checking [pred] and the message queue every
+   [stall_gap] cycles. Iterations whose lattice point lies strictly
+   below the visibility horizon are provably no-ops (frozen peers, an
+   empty probe, a false predicate), so they are collapsed into a single
+   advance ([Engine.idle_skip]) — the cycle charge and every observable
+   re-check point are identical to stepping. *)
 let stall ctx cat pred =
+  let gap = ctx.t.Timing.stall_gap in
   with_category ctx cat (fun () ->
       while not (pred ()) do
         poll ctx;
-        if not (pred ()) then charge_yield ctx ctx.t.Timing.stall_gap
+        if not (pred ()) then
+          charge_yield ctx (gap + Engine.idle_skip ctx.eng ~quantum:gap)
       done)
 
 (* ------------------------------------------------------------------ *)
@@ -1325,7 +1349,8 @@ let barrier_wait ctx barrier =
 let drain ctx =
   ctx.ps.Machine.finished <- true;
   ctx.ps.Machine.app_finish_cycles <- Engine.now ctx.eng;
+  let gap = ctx.t.Timing.stall_gap in
   while not (Machine.quiescent ctx.m) do
     poll ctx;
-    Engine.advance ctx.eng ctx.t.Timing.stall_gap
+    Engine.advance ctx.eng (gap + Engine.idle_skip ctx.eng ~quantum:gap)
   done

@@ -68,6 +68,12 @@ type result = {
 
 let cache : (spec, result) Hashtbl.t = Hashtbl.create 64
 
+(* Cumulative parallel cycles over every run actually executed (cache
+   misses only), so callers can attribute simulated work to a span of
+   host time by differencing. *)
+let executed_cycles = ref 0
+let simulated_cycles () = !executed_cycles
+
 let execute spec =
   let maker = Shasta_apps.Registry.find spec.app in
   let inst = maker ~vg:spec.vg ~scale:spec.scale () in
@@ -88,6 +94,7 @@ let execute spec =
       (Printf.sprintf "experiment run failed verification: %s (%s)" spec.app
          verdict.App.detail);
   let downgrade_msgs = Dsm.downgrade_messages h in
+  executed_cycles := !executed_cycles + Dsm.parallel_cycles h;
   {
     spec;
     workload = inst.App.workload;

@@ -52,3 +52,8 @@ val speedup : spec -> float
     paper's definition (relative to the original sequential code). *)
 
 val cache_size : unit -> int
+
+val simulated_cycles : unit -> int
+(** Cumulative [parallel_cycles] over all runs actually executed so far
+    (cache hits contribute nothing). Difference across a span to
+    attribute simulated work to it. *)

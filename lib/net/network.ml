@@ -1,12 +1,28 @@
-type 'a msg = { arrival : int; seq : int; src : int; payload : 'a }
+type 'a msg = { arrival : int; sent : int; src : int; seq : int; payload : 'a }
 
-(* Minimal binary min-heap on (arrival, seq). *)
+(* Minimal binary min-heap on (arrival, sent, src, seq).
+
+   The tie-break beyond [arrival] must be a function of VIRTUAL time
+   only: under run-ahead scheduling the real-time order in which two
+   processors execute their sends is no longer the virtual-time order,
+   so a global send counter alone would make delivery order depend on
+   the scheduler. Messages sent at the same virtual instant are ordered
+   by sender id (the order the min-clock scheduler runs equal clocks),
+   and [seq] only separates sends from the same sender at the same
+   instant, where the global counter does follow program order. *)
 module Heap = struct
   type 'a t = { mutable data : 'a msg array; mutable size : int }
 
   let create () = { data = [||]; size = 0 }
 
-  let less a b = a.arrival < b.arrival || (a.arrival = b.arrival && a.seq < b.seq)
+  let size h = h.size
+
+  let less a b =
+    a.arrival < b.arrival
+    || (a.arrival = b.arrival
+       && (a.sent < b.sent
+          || (a.sent = b.sent
+             && (a.src < b.src || (a.src = b.src && a.seq < b.seq)))))
 
   let swap h i j =
     let t = h.data.(i) in
@@ -28,35 +44,46 @@ module Heap = struct
       i := (!i - 1) / 2
     done
 
+  (* Arrival time of the minimum, [max_int] when empty. The polling fast
+     path (almost always "nothing due yet") must not allocate. *)
+  let min_arrival h = if h.size = 0 then max_int else h.data.(0).arrival
+
   let peek h = if h.size = 0 then None else Some h.data.(0)
 
-  let pop h =
-    match peek h with
-    | None -> None
-    | Some m ->
-      h.size <- h.size - 1;
-      h.data.(0) <- h.data.(h.size);
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
-        if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          swap h !i !smallest;
-          i := !smallest
-        end
-        else continue := false
-      done;
-      Some m
+  (* Remove and return the minimum; the heap must be non-empty. *)
+  let pop_exn h =
+    assert (h.size > 0);
+    let m = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+      if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    m
+
+  let pop h = if h.size = 0 then None else Some (pop_exn h)
 end
 
 type 'a t = {
   topo : Topology.t;
   link : Link.t;
+  nprocs : int;
   queues : 'a Heap.t array;
-  last_arrival : (int * int, int) Hashtbl.t;  (* (src,dst) -> last arrival *)
+  last_arrival : int array;
+      (* flat nprocs x nprocs table: [src * nprocs + dst] holds the last
+         arrival timestamp assigned on that ordered pair, [min_int] when
+         the pair has never carried a message. Replaces a tuple-keyed
+         Hashtbl whose probe allocated a (src, dst) key on every send. *)
   mutable seq : int;
   mutable n_local : int;
   mutable n_remote : int;
@@ -64,11 +91,13 @@ type 'a t = {
 }
 
 let create topo link =
+  let nprocs = Topology.nprocs topo in
   {
     topo;
     link;
-    queues = Array.init (Topology.nprocs topo) (fun _ -> Heap.create ());
-    last_arrival = Hashtbl.create 64;
+    nprocs;
+    queues = Array.init nprocs (fun _ -> Heap.create ());
+    last_arrival = Array.make (nprocs * nprocs) min_int;
     seq = 0;
     n_local = 0;
     n_remote = 0;
@@ -79,32 +108,36 @@ let send t ~src ~dst ~now ~size payload =
   let same_node = Topology.same_node t.topo src dst in
   let transfer = Link.transfer_cycles t.link ~same_node ~size in
   let arrival = now + transfer in
-  let arrival =
-    match Hashtbl.find_opt t.last_arrival (src, dst) with
-    | Some last when last >= arrival -> last + 1
-    | _ -> arrival
-  in
-  Hashtbl.replace t.last_arrival (src, dst) arrival;
+  let pair = (src * t.nprocs) + dst in
+  let last = t.last_arrival.(pair) in
+  (* In-order delivery per (src,dst) pair: a message computed to arrive
+     at-or-before its predecessor is pushed just after it instead. *)
+  let arrival = if last >= arrival then last + 1 else arrival in
+  t.last_arrival.(pair) <- arrival;
   if same_node then t.n_local <- t.n_local + 1
   else begin
     t.n_remote <- t.n_remote + 1;
     t.n_bytes_remote <- t.n_bytes_remote + size
   end;
-  Heap.push t.queues.(dst) { arrival; seq = t.seq; src; payload };
+  Heap.push t.queues.(dst) { arrival; sent = now; src; seq = t.seq; payload };
   t.seq <- t.seq + 1
 
 let poll t ~dst ~now =
-  match Heap.peek t.queues.(dst) with
-  | Some m when m.arrival <= now -> (
-    match Heap.pop t.queues.(dst) with
-    | Some m -> Some (m.src, m.payload)
-    | None -> assert false)
-  | Some _ | None -> None
+  let q = t.queues.(dst) in
+  if Heap.min_arrival q <= now then begin
+    let m = Heap.pop_exn q in
+    Some (m.src, m.payload)
+  end
+  else None
+
+let earliest_arrival t ~dst = Heap.min_arrival t.queues.(dst)
 
 let peek_arrival t ~dst =
-  Option.map (fun m -> m.arrival) (Heap.peek t.queues.(dst))
+  match Heap.peek t.queues.(dst) with
+  | Some m -> Some m.arrival
+  | None -> None
 
-let queued t ~dst = t.queues.(dst).Heap.size
+let queued t ~dst = Heap.size t.queues.(dst)
 let sent_local t = t.n_local
 let sent_remote t = t.n_remote
 let bytes_remote t = t.n_bytes_remote

@@ -7,6 +7,34 @@
     both the Memory Channel and the intra-node shared-memory queues of
     the prototype deliver in order. *)
 
+type 'a msg = { arrival : int; sent : int; src : int; seq : int; payload : 'a }
+(** A queued message: ordered by [(arrival, sent, src, seq)] — arrival
+    time, then send time, then sender id, then the global send sequence
+    number. The tie-break chain is a function of virtual time and sender
+    identity only, so delivery order is independent of how the scheduler
+    interleaves processors in host time (required by run-ahead). *)
+
+(** Binary min-heap on [(arrival, sent, src, seq)]; exposed for unit
+    tests. The read-only probes ([size], [min_arrival]) do not
+    allocate. *)
+module Heap : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val size : 'a t -> int
+  val push : 'a t -> 'a msg -> unit
+
+  val min_arrival : 'a t -> int
+  (** Arrival time of the earliest message, [max_int] when empty. *)
+
+  val peek : 'a t -> 'a msg option
+  val pop : 'a t -> 'a msg option
+
+  val pop_exn : 'a t -> 'a msg
+  (** Remove and return the earliest message; the heap must be
+      non-empty. *)
+end
+
 type 'a t
 
 val create : Topology.t -> Link.t -> 'a t
@@ -23,6 +51,10 @@ val poll : 'a t -> dst:int -> now:int -> (int * 'a) option
 val peek_arrival : 'a t -> dst:int -> int option
 (** Arrival time of the earliest queued message for [dst] (whether or not
     it has arrived yet). *)
+
+val earliest_arrival : 'a t -> dst:int -> int
+(** Like {!peek_arrival} but allocation-free: [max_int] when the queue is
+    empty. Fed to the engine as the run-ahead horizon hint. *)
 
 val queued : 'a t -> dst:int -> int
 (** Number of queued (in-flight or arrived) messages for [dst]. *)

@@ -11,6 +11,13 @@ type proc = {
   p_nprocs : int;
   mutable p_now : int;
   mutable p_status : status;
+  mutable p_horizon : int;
+  mutable p_visible : int;
+      (* The base of [p_horizon] before the tie-break adjustment: the
+         earliest virtual time at which anything another processor did
+         or will do (including a queued message's arrival) can become
+         visible to [p]. Strictly below it, a poll probe is guaranteed
+         empty and no shared state [p] can observe changes. *)
   p_max_cycles : int;
 }
 
@@ -25,11 +32,42 @@ let advance_local p c =
   p.p_now <- p.p_now + c;
   if p.p_now > p.p_max_cycles then raise (Cycle_limit p.p_id)
 
-let yield _p = Effect.perform Yield
+(* Run-ahead (conservative-PDES lookahead): between two scheduling
+   points of processor [p], no other processor executes — their clocks
+   and statuses are frozen. [p_horizon] is a virtual time strictly below
+   which nothing any other processor does can become visible to [p]
+   (see [run] for how it is computed), so scheduling points below the
+   horizon elide the yield effect — the continuation switch, scheduler
+   re-entry and re-pick — entirely and just keep running. Yielding
+   MORE often than necessary is always safe (the scheduler observes an
+   unchanged minimum and resumes the same processor), so any
+   conservative under-estimate of the horizon preserves the simulation
+   exactly; only an over-estimate could reorder visible events. *)
+
+let yields_performed = ref 0
+let yields_elided = ref 0
+let yield_counts () = (!yields_performed, !yields_elided)
+
+let () =
+  at_exit (fun () ->
+      if Sys.getenv_opt "SHASTA_SCHED_STATS" <> None then
+        Printf.eprintf "[sched] yields performed=%d elided=%d\n%!"
+          !yields_performed !yields_elided)
+
+let yield p =
+  if p.p_now >= p.p_horizon then begin
+    incr yields_performed;
+    Effect.perform Yield
+  end
+  else incr yields_elided
 
 let advance p c =
   advance_local p c;
-  Effect.perform Yield
+  if p.p_now >= p.p_horizon then begin
+    incr yields_performed;
+    Effect.perform Yield
+  end
+  else incr yields_elided
 
 (* Resume [p] under a deep handler that parks the continuation on Yield.
    The handler returns control to the scheduler loop after each effect. *)
@@ -57,21 +95,88 @@ let step body p =
             | _ -> None);
       }
 
-let pick tasks =
-  let best = ref None in
-  Array.iter
-    (fun p ->
-      match p.p_status with
-      | Finished | Running -> ()
-      | Fresh | Suspended _ -> (
-        match !best with
-        | Some b when b.p_now <= p.p_now -> ()
-        | _ -> best := Some p))
-    tasks;
-  !best
+(* Runnable set as a binary min-heap on (p_now, p_id) — lexicographic,
+   so equal clocks resume in processor-id order, exactly the tie-break
+   of the original O(n) scan. A processor's clock only moves while it
+   runs, and it is out of the heap while it runs, so heap order is never
+   invalidated in place. Capacity is nprocs; no allocation after
+   creation. *)
+module Runq = struct
+  type t = { heap : proc array; mutable size : int }
 
-let run ~nprocs ?(max_cycles = 2_000_000_000) body =
+  let less a b = a.p_now < b.p_now || (a.p_now = b.p_now && a.p_id < b.p_id)
+
+  let create capacity dummy = { heap = Array.make capacity dummy; size = 0 }
+
+  let push q p =
+    let heap = q.heap in
+    let i = ref q.size in
+    q.size <- q.size + 1;
+    heap.(!i) <- p;
+    while
+      !i > 0
+      &&
+      let parent = (!i - 1) / 2 in
+      less heap.(!i) heap.(parent)
+    do
+      let parent = (!i - 1) / 2 in
+      let t = heap.(!i) in
+      heap.(!i) <- heap.(parent);
+      heap.(parent) <- t;
+      i := parent
+    done
+
+  let pop q =
+    let heap = q.heap in
+    let m = heap.(0) in
+    q.size <- q.size - 1;
+    heap.(0) <- heap.(q.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < q.size && less heap.(l) heap.(!smallest) then smallest := l;
+      if r < q.size && less heap.(r) heap.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let t = heap.(!i) in
+        heap.(!i) <- heap.(!smallest);
+        heap.(!smallest) <- t;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    m
+end
+
+(* Cycles an idle spin loop may skip over in one step: a loop that
+   re-checks state and polls every [quantum] cycles observes, at every
+   lattice point strictly below [p_visible], exactly the state it sees
+   now — frozen peers, an empty due-message probe — so those
+   iterations can be collapsed into a single advance of the returned
+   amount, landing on the first lattice point at or past [p_visible]
+   (0 when that is the very next point). Virtual-time behavior is
+   bit-identical to stepping; only the wasted re-checks go away. *)
+let idle_skip p ~quantum =
+  (* Compare before subtracting: under the always-yield scheduler
+     [p_visible] stays at [min_int] and a subtraction would wrap. *)
+  if p.p_visible = max_int || p.p_visible <= p.p_now then 0
+  else begin
+    let d = p.p_visible - p.p_now in
+    if d <= quantum then 0
+    else begin
+      let steps = (d + quantum - 1) / quantum in
+      quantum * (steps - 1)
+    end
+  end
+
+let no_hint (_ : int) = max_int
+
+let run ~nprocs ?(max_cycles = 2_000_000_000) ?(run_ahead = true)
+    ?(arrival_hint = no_hint) ?(lookahead = [||]) body =
   assert (nprocs > 0);
+  assert (
+    Array.length lookahead = 0 || Array.length lookahead = nprocs * nprocs);
   let tasks =
     Array.init nprocs (fun i ->
         {
@@ -79,18 +184,88 @@ let run ~nprocs ?(max_cycles = 2_000_000_000) body =
           p_nprocs = nprocs;
           p_now = 0;
           p_status = Fresh;
+          p_horizon = 0;
+          p_visible = min_int;
           p_max_cycles = max_cycles;
         })
   in
-  let rec loop () =
-    match pick tasks with
-    | None -> ()
-    | Some p ->
-      step body p;
-      (* A Running status here means [step] returned without the task either
-         finishing or suspending, which the handler construction rules out. *)
-      assert (p.p_status <> Running);
-      loop ()
+  let lookahead =
+    if Array.length lookahead > 0 then lookahead
+    else Array.make (nprocs * nprocs) 0
   in
-  loop ();
+  (* The horizon of [p]: the first virtual time at which [p] must hand
+     control back to the scheduler.  Its base is the earliest virtual
+     time at which another processor's actions can become visible to
+     [p], given that all other clocks are frozen while [p] runs:
+
+     - A message already queued for [p] becomes visible at its arrival
+       timestamp ([arrival_hint]).
+     - A runnable processor [q]'s next action happens no earlier than
+       its own clock, and becomes visible to [p] no earlier than
+       [lookahead] cycles after that — the minimum virtual-time cost of
+       any direct [q]-to-[p] interaction (0 when they share mutable
+       state, the minimum message transfer time when the network is the
+       only path between them).
+     - Chains through an intermediary [r] need no extra terms: [r] only
+       acts when scheduled, from its own clock, and [r]'s clock term
+       already bounds everything [r] will do.
+
+     With an all-zero matrix the base degenerates to the second-lowest
+     runnable clock — the exact no-lookahead horizon.
+
+     A yield AT the base time [h] performs real work only when the
+     scheduler would pick somebody else, i.e. when some contributor [q]
+     of the minimum would win the (clock, pid) tie-break against [p]
+     standing at [h]: any [q] with a positive lookahead sits at a clock
+     strictly below its bound, and a zero-lookahead [q] ties on clock
+     and wins on a lower pid.  A minimum contributed only by queued
+     messages or by higher-pid zero-lookahead peers means the scheduler
+     would pop [p] right back — so [p] may keep running through [h] and
+     the horizon is [h + 1]. *)
+  let horizon_of p =
+    let h = ref (arrival_hint p.p_id) in
+    (* Does some contributor of the minimum run before [p] at time !h? *)
+    let tie_lower = ref false in
+    let row = p.p_id * nprocs in
+    for i = 0 to nprocs - 1 do
+      let q = tasks.(i) in
+      if q != p && q.p_status <> Finished then begin
+        let la = lookahead.(row + i) in
+        let bound = q.p_now + la in
+        if bound < !h then begin
+          h := bound;
+          tie_lower := la > 0 || q.p_id < p.p_id
+        end
+        else if bound = !h then
+          tie_lower := !tie_lower || la > 0 || q.p_id < p.p_id
+      end
+    done;
+    p.p_visible <- !h;
+    if !tie_lower || !h = max_int then !h else !h + 1
+  in
+  let q = Runq.create nprocs tasks.(0) in
+  Array.iter (fun p -> Runq.push q p) tasks;
+  while q.Runq.size > 0 do
+    let p = Runq.pop q in
+    (* With [run_ahead] off, a horizon in the past forces the effect at
+       every scheduling point, reproducing the always-yield scheduler
+       switch-for-switch. *)
+    (* With [run_ahead] off, a past horizon forces the effect at every
+       scheduling point and [p_visible] stays in the past so idle waits
+       advance one quantum at a time, reproducing the always-yield
+       scheduler switch-for-switch. *)
+    if run_ahead then p.p_horizon <- horizon_of p
+    else begin
+      p.p_horizon <- min_int;
+      p.p_visible <- min_int
+    end;
+    step body p;
+    (* A Running status here means [step] returned without the task
+       either finishing or suspending, which the handler construction
+       rules out. *)
+    match p.p_status with
+    | Suspended _ -> Runq.push q p
+    | Finished -> ()
+    | Fresh | Running -> assert false
+  done;
   Array.map (fun p -> p.p_now) tasks

@@ -5,6 +5,20 @@
     processor with the smallest clock (ties broken by processor id), so a
     run is a deterministic function of the program and its seeds.
 
+    Run-ahead: when resuming a processor the scheduler hands it a
+    {e horizon} — the earliest virtual time at which any other processor
+    could affect it: the minimum over its in-flight message arrivals
+    ([arrival_hint]) and, for every other runnable processor, that
+    processor's clock plus the pair's [lookahead] slack (0 when the two
+    share mutable state and may interact at any instant; the minimum
+    message transfer time when the network is the only path between
+    them). Scheduling points strictly below the horizon elide the yield
+    effect entirely: nothing another processor does could have become
+    visible there, so the elision is invisible in virtual time (see
+    DESIGN.md §Simulator for the invariant argument). The runnable set
+    is kept in a binary min-heap, so each real scheduling decision is
+    O(log n).
+
     Causality note: a processor observes a message in its input queue only
     at a scheduling point at-or-after the message's arrival timestamp, which
     models polling-based reception (messages are never handled between an
@@ -18,10 +32,40 @@ exception Cycle_limit of int
 (** Raised (carrying the processor id) when a processor exceeds the run's
     cycle budget — the simulator's deadlock/livelock backstop. *)
 
-val run : nprocs:int -> ?max_cycles:int -> (proc -> unit) -> int array
+val run :
+  nprocs:int ->
+  ?max_cycles:int ->
+  ?run_ahead:bool ->
+  ?arrival_hint:(int -> int) ->
+  ?lookahead:int array ->
+  (proc -> unit) ->
+  int array
 (** [run ~nprocs body] spawns [nprocs] processors executing [body] and
     schedules them to completion; result is each processor's finish time
-    in cycles. [max_cycles] defaults to [2_000_000_000]. *)
+    in cycles. [max_cycles] defaults to [2_000_000_000].
+
+    [run_ahead] (default [true]): when false, every scheduling point
+    performs the yield effect and re-enters the scheduler, as the
+    original yield-per-advance scheduler did. The simulation outcome is
+    identical either way; the flag exists for benchmarking and for
+    cross-checking determinism.
+
+    [arrival_hint pid] may return the earliest arrival timestamp of an
+    in-flight message destined to [pid], or [max_int] when none (the
+    default). It is consulted once per resume and only ever {e tightens}
+    the horizon, so a conservative hint is always safe.
+
+    [lookahead] is a flat [nprocs * nprocs] matrix; entry
+    [p * nprocs + q] is a lower bound on the virtual-time delay before
+    any action of [q] can become visible to [p] — 0 when the pair
+    shares mutable state directly, the minimum message transfer time
+    when the network is the only path between them. Each other runnable
+    processor contributes [clock + lookahead] to the resumed
+    processor's horizon, which is where run-ahead earns its keep. The
+    default (and an empty array) is all zeros: the horizon degenerates
+    to the exact second-lowest runnable clock. Under-estimating an
+    entry is always safe; over-estimating one can reorder visible
+    events. *)
 
 val pid : proc -> int
 (** Identifier in \[0, nprocs). *)
@@ -33,11 +77,28 @@ val now : proc -> int
 (** Current value of this processor's cycle clock. *)
 
 val advance : proc -> int -> unit
-(** [advance p c] charges [c] cycles and yields to the scheduler. *)
+(** [advance p c] charges [c] cycles; yields to the scheduler if the
+    clock reached this run slice's horizon. *)
 
 val advance_local : proc -> int -> unit
 (** Charge cycles without a scheduling point — for short straight-line
     sequences where interleaving cannot matter. *)
 
 val yield : proc -> unit
-(** Scheduling point without a time charge. *)
+(** Scheduling point without a time charge (yields only at-or-past the
+    horizon, where another processor may be due). *)
+
+val idle_skip : proc -> quantum:int -> int
+(** [idle_skip p ~quantum] is the number of cycles an idle spin loop —
+    one that polls, re-checks state and advances [quantum] cycles per
+    iteration — may add to its next advance so that it lands on the
+    first lattice point at or past the visibility horizon (0 when that
+    is the very next point anyway). Every skipped iteration is provably
+    a no-op: strictly below the horizon the message probe is empty and
+    no observable state can have changed, so the collapsed wait is
+    bit-identical to stepping in virtual time. *)
+
+val yield_counts : unit -> int * int
+(** (performed, elided) yield-effect counters, cumulative across runs in
+    this process — observability for benchmarks and tests. Also printed
+    at exit when [SHASTA_SCHED_STATS] is set. *)

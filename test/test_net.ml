@@ -67,6 +67,88 @@ let test_network_counters () =
   Alcotest.(check int) "remote count" 1 (Network.sent_remote net);
   Alcotest.(check int) "remote bytes" 20 (Network.bytes_remote net)
 
+(* Direct unit tests of the delivery heap: pop order is (arrival, sent,
+   src, seq) lexicographic, so equal-arrival messages drain by send
+   time, then sender id, then per-sender sequence — a function of
+   virtual time and sender identity only, never of host-time send
+   order. *)
+let msg ?(sent = 0) ?(src = 0) ?(seq = 0) arrival payload =
+  { Network.arrival; sent; src; seq; payload }
+
+let heap_drain h =
+  let rec go acc =
+    match Network.Heap.pop h with
+    | Some m -> go (m.Network.payload :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_heap_pop_ordering () =
+  let h = Network.Heap.create () in
+  Alcotest.(check int) "empty min_arrival" max_int (Network.Heap.min_arrival h);
+  List.iter
+    (Network.Heap.push h)
+    [ msg 30 "c"; msg 10 "a"; msg 40 "d"; msg 20 "b"; msg 50 "e" ];
+  Alcotest.(check int) "size" 5 (Network.Heap.size h);
+  Alcotest.(check int) "min_arrival" 10 (Network.Heap.min_arrival h);
+  (match Network.Heap.peek h with
+  | Some m -> Alcotest.(check string) "peek is min" "a" m.Network.payload
+  | None -> Alcotest.fail "peek on non-empty heap");
+  Alcotest.(check (list string))
+    "pops in arrival order"
+    [ "a"; "b"; "c"; "d"; "e" ]
+    (heap_drain h);
+  Alcotest.(check int) "drained" 0 (Network.Heap.size h)
+
+let test_heap_tie_breaks () =
+  let h = Network.Heap.create () in
+  (* All arrive at 100; pushed in a deliberately scrambled order. *)
+  List.iter
+    (Network.Heap.push h)
+    [
+      msg ~sent:5 ~src:1 ~seq:9 100 "sent5.src1";
+      msg ~sent:3 ~src:2 ~seq:8 100 "sent3.src2.seq8";
+      msg ~sent:5 ~src:0 ~seq:7 100 "sent5.src0";
+      msg ~sent:3 ~src:2 ~seq:2 100 "sent3.src2.seq2";
+      msg ~sent:3 ~src:0 ~seq:6 100 "sent3.src0";
+    ];
+  Alcotest.(check (list string))
+    "equal arrival drains by (sent, src, seq)"
+    [
+      "sent3.src0"; "sent3.src2.seq2"; "sent3.src2.seq8"; "sent5.src0";
+      "sent5.src1";
+    ]
+    (heap_drain h)
+
+let test_fifo_arrival_bump () =
+  (* When a later send on the same (src,dst) pair computes an arrival at
+     or before its predecessor's, it is bumped to predecessor + 1 —
+     strictly FIFO without reordering the heap. *)
+  let topo = Topology.create ~nprocs:2 ~procs_per_node:1 in
+  let net = Network.create topo Link.default in
+  let zero_cost = Link.transfer_cycles Link.default ~same_node:false ~size:0 in
+  Network.send net ~src:0 ~dst:1 ~now:0 ~size:8192 "big";
+  let big_arrival =
+    match Network.peek_arrival net ~dst:1 with
+    | Some t -> t
+    | None -> Alcotest.fail "big lost"
+  in
+  Network.send net ~src:0 ~dst:1 ~now:1 ~size:0 "small";
+  (* The small message alone would arrive at [1 + zero_cost], well
+     before the big one. *)
+  Alcotest.(check bool) "bump actually triggered" true
+    (1 + zero_cost < big_arrival);
+  (match Network.poll net ~dst:1 ~now:big_arrival with
+  | Some (_, m) -> Alcotest.(check string) "big first" "big" m
+  | None -> Alcotest.fail "big not delivered at its arrival");
+  Alcotest.(check (option (pair int string)))
+    "small not yet due at big's arrival" None
+    (Network.poll net ~dst:1 ~now:big_arrival);
+  Alcotest.(check (option (pair int string)))
+    "small due exactly one cycle later"
+    (Some (0, "small"))
+    (Network.poll net ~dst:1 ~now:(big_arrival + 1))
+
 let prop_arrival_order =
   QCheck.Test.make ~name:"poll yields messages in arrival order" ~count:100
     QCheck.(list_of_size (Gen.int_range 1 30) (pair (int_bound 3) (int_bound 500)))
@@ -102,5 +184,11 @@ let () =
           Alcotest.test_case "fifo per pair" `Quick test_network_fifo_per_pair;
           Alcotest.test_case "counters" `Quick test_network_counters;
           QCheck_alcotest.to_alcotest prop_arrival_order;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "pop ordering" `Quick test_heap_pop_ordering;
+          Alcotest.test_case "tie-breaks" `Quick test_heap_tie_breaks;
+          Alcotest.test_case "fifo arrival bump" `Quick test_fifo_arrival_bump;
         ] );
     ]
