@@ -7,34 +7,53 @@
      dune exec bench/main.exe -- table1 fig3  # selected targets
      dune exec bench/main.exe -- --quick      # reduced problem scale
      dune exec bench/main.exe -- --json fig3  # also write BENCH_fig3.json
+     dune exec bench/main.exe -- --jobs 4     # simulations on 4 domains
    Targets: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 micro anl
             ablation bechamel
 
+   Before rendering a target, its full spec list (sequential speedup
+   baselines included) is warmed through Runner.run_batch: cache misses
+   execute concurrently on a pool of --jobs OCaml domains (default: the
+   SHASTA_JOBS environment variable, else the machine's core count), and
+   the render then reads everything from the cache. Each simulation is
+   deterministic and self-contained, so the tables printed to stdout are
+   byte-identical whatever --jobs is; progress/timing lines go to stderr
+   so stdout can be diffed across modes.
+
    With --json, each target additionally writes BENCH_<target>.json in
-   the current directory recording host wall-clock seconds and the
+   the current directory recording host wall-clock seconds, the
    simulated cycles executed for that target (cache hits from earlier
-   targets contribute zero cycles). *)
+   targets contribute zero cycles), the job count, and the scheduler's
+   yield counters over the target's runs (see README "Benchmark JSON
+   schema"). *)
 
 module E = Shasta_experiments
+module Engine = Shasta_sim.Engine
 
-let targets : (string * (scale:float -> string)) list =
-  [
-    ("table1", fun ~scale -> E.Exp_checking_overhead.render ~scale ());
-    ("table2", fun ~scale -> E.Exp_granularity.render ~scale ());
-    ("table3", fun ~scale -> E.Exp_large_problems.render ~scale:(2.0 *. scale) ());
-    ("fig3", fun ~scale -> E.Exp_speedup.render ~scale ());
-    ("fig4", fun ~scale -> E.Exp_breakdown.render ~vg:false ~scale ());
-    ("fig5", fun ~scale -> E.Exp_breakdown.render ~vg:true ~scale ());
-    ("fig6", fun ~scale -> E.Exp_misses.render ~scale ());
-    ("fig7", fun ~scale -> E.Exp_messages.render ~scale ());
-    ("fig8", fun ~scale -> E.Exp_downgrade_dist.render ~scale ());
-    ("micro", fun ~scale:_ -> E.Exp_microbench.render ());
-    ("anl", fun ~scale -> E.Exp_anl_compare.render ~scale ());
-    ("ablation", fun ~scale -> E.Exp_ablation.render ~scale ());
-    ("bechamel", fun ~scale:_ -> Bechamel_suite.render ());
-  ]
+type target = {
+  name : string;
+  render : scale:float -> string;
+  specs : scale:float -> E.Runner.spec list;
+}
 
-let write_json ~name ~wall ~cycles ~cached_runs =
+let targets : target list =
+  List.map
+    (fun t ->
+      {
+        name = t.E.Targets.name;
+        render = t.E.Targets.render;
+        specs = t.E.Targets.specs;
+      })
+    E.Targets.all
+  @ [
+      {
+        name = "bechamel";
+        render = (fun ~scale:_ -> Bechamel_suite.render ());
+        specs = (fun ~scale:_ -> []);
+      };
+    ]
+
+let write_json ~name ~wall ~cycles ~jobs ~performed ~elided ~cached_runs =
   let file = Printf.sprintf "BENCH_%s.json" name in
   let oc = open_out file in
   Printf.fprintf oc
@@ -43,38 +62,91 @@ let write_json ~name ~wall ~cycles ~cached_runs =
     \  \"wall_seconds\": %.3f,\n\
     \  \"simulated_cycles\": %d,\n\
     \  \"simulated_seconds\": %.6f,\n\
+    \  \"jobs\": %d,\n\
+    \  \"yields_performed\": %d,\n\
+    \  \"yields_elided\": %d,\n\
     \  \"cached_runs\": %d\n\
      }\n"
-    name wall cycles (E.Runner.seconds cycles) cached_runs;
+    name wall cycles (E.Runner.seconds cycles) jobs performed elided cached_runs;
   close_out oc;
-  Printf.printf "[wrote %s]\n" file
+  Printf.eprintf "[wrote %s]\n%!" file
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--quick] [--json] [--jobs N] [TARGET...]\ntargets: %s\n"
+    (String.concat " " (List.map (fun t -> t.name) targets));
+  exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args in
-  let json = List.mem "--json" args in
-  let scale = if quick then 0.5 else 1.0 in
-  let wanted = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
-  let wanted = if wanted = [] then List.map fst targets else wanted in
+  let quick = ref false and json = ref false and jobs = ref None in
+  let wanted = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := Some j;
+        parse rest
+      | _ ->
+        Printf.eprintf "--jobs: expected a positive integer, got %S\n" n;
+        exit 2)
+    | arg :: rest when String.length arg >= 7 && String.sub arg 0 7 = "--jobs=" -> (
+      match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+      | Some j when j >= 1 ->
+        jobs := Some j;
+        parse rest
+      | _ ->
+        Printf.eprintf "--jobs: expected a positive integer, got %S\n" arg;
+        exit 2)
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+      Printf.eprintf "unknown option %S\n" arg;
+      usage ()
+    | name :: rest ->
+      wanted := name :: !wanted;
+      parse rest
+  in
+  parse args;
+  let scale = if !quick then 0.5 else 1.0 in
+  let jobs =
+    match !jobs with Some j -> j | None -> Shasta_util.Pool.default_jobs ()
+  in
+  let wanted =
+    match List.rev !wanted with
+    | [] -> List.map (fun t -> t.name) targets
+    | names -> names
+  in
+  Printf.eprintf "[bench: %d job%s]\n%!" jobs (if jobs = 1 then "" else "s");
   List.iter
     (fun name ->
-      match List.assoc_opt name targets with
-      | Some render ->
+      match List.find_opt (fun t -> t.name = name) targets with
+      | Some target ->
         let t0 = Unix.gettimeofday () in
         let c0 = E.Runner.simulated_cycles () in
-        let out = render ~scale in
+        let yp0, ye0 = Engine.yield_counts () in
+        E.Runner.run_batch ~jobs (target.specs ~scale);
+        let out = target.render ~scale in
         let wall = Unix.gettimeofday () -. t0 in
         print_string out;
-        Printf.printf "\n[%s completed in %.1fs host time; %d cached runs]\n"
+        flush stdout;
+        Printf.eprintf "[%s completed in %.1fs host time; %d cached runs]\n%!"
           name wall
           (E.Runner.cache_size ());
-        if json then
+        if !json then begin
+          let yp1, ye1 = Engine.yield_counts () in
           write_json ~name ~wall
             ~cycles:(E.Runner.simulated_cycles () - c0)
-            ~cached_runs:(E.Runner.cache_size ());
-        flush stdout
+            ~jobs ~performed:(yp1 - yp0) ~elided:(ye1 - ye0)
+            ~cached_runs:(E.Runner.cache_size ())
+        end
       | None ->
         Printf.eprintf "unknown target %S; known: %s\n" name
-          (String.concat " " (List.map fst targets));
+          (String.concat " " (List.map (fun t -> t.name) targets));
         exit 2)
     wanted

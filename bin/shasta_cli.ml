@@ -1,7 +1,9 @@
 (* Command-line driver: run any SPLASH-2 workload on a configured
-   simulated cluster and report the paper's statistics.
+   simulated cluster and report the paper's statistics, or regenerate
+   the paper's tables/figures with the multicore experiment runner.
 
      dune exec bin/shasta_cli.exe -- run ocean -p 16 --protocol smp -c 4
+     dune exec bin/shasta_cli.exe -- report fig3 --quick --jobs 4
      dune exec bin/shasta_cli.exe -- list *)
 
 open Cmdliner
@@ -69,6 +71,44 @@ let run_app app_name nprocs protocol clustering vg scale seed smp_sync share_dir
     end;
     if verdict.App.ok then 0 else 1
 
+(* Regenerate paper tables/figures: prefetch the union of the selected
+   targets' specs through the domain pool, then render each target
+   sequentially from the warm cache. Output is byte-identical for any
+   job count; only wall-clock changes. *)
+let report_targets target_names quick jobs =
+  let module Targets = Shasta_experiments.Targets in
+  let scale = if quick then 0.5 else 1.0 in
+  let jobs =
+    match jobs with 0 -> Shasta_util.Pool.default_jobs () | j -> j
+  in
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be a positive integer\n";
+    exit 2
+  end;
+  let names = if target_names = [] then Targets.names else target_names in
+  match
+    List.partition_map
+      (fun n ->
+        match Targets.find n with
+        | Some t -> Either.Left t
+        | None -> Either.Right n)
+      names
+  with
+  | _, (_ :: _ as unknown) ->
+    Printf.eprintf "unknown target(s) %s; known: %s\n"
+      (String.concat ", " unknown)
+      (String.concat " " Targets.names);
+    1
+  | selected, [] ->
+    let t0 = Unix.gettimeofday () in
+    Targets.prefetch ~jobs ~scale selected;
+    List.iter (fun t -> print_string (t.Targets.render ~scale)) selected;
+    Printf.eprintf "[%d target(s) in %.1fs host time, %d jobs]\n%!"
+      (List.length selected)
+      (Unix.gettimeofday () -. t0)
+      jobs;
+    0
+
 let list_apps () =
   List.iter
     (fun (name, (maker : App.maker)) ->
@@ -117,6 +157,32 @@ let run_cmd =
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const list_apps $ const ())
 
+let targets_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"TARGET"
+        ~doc:"Tables/figures to regenerate (default: all). See $(b,bench/main.exe) for the list.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced problem scale (0.5).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Number of OCaml domains executing simulations concurrently; 0 (the \
+           default) means $(b,SHASTA_JOBS) or the machine's core count. The \
+           rendered tables are identical for any value.")
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Regenerate the paper's tables/figures, executing the independent \
+          simulations concurrently on a domain pool")
+    Term.(const report_targets $ targets_arg $ quick_arg $ jobs_arg)
+
 let () =
   let doc = "Shasta fine-grain software DSM simulator (HPCA'98 reproduction)" in
-  exit (Cmd.eval' (Cmd.group (Cmd.info "shasta" ~doc) [ run_cmd; list_cmd ]))
+  exit (Cmd.eval' (Cmd.group (Cmd.info "shasta" ~doc) [ run_cmd; report_cmd; list_cmd ]))

@@ -4,9 +4,9 @@ module State_table = Shasta_mem.State_table
 module Layout = Shasta_mem.Layout
 module Network = Shasta_net.Network
 
-type handle = { m : Machine.t; mutable ran : bool }
+type handle = { m : Machine.t; mutable ran : bool; mutable sched : int * int }
 
-let create cfg = { m = Machine.create cfg; ran = false }
+let create cfg = { m = Machine.create cfg; ran = false; sched = (0, 0) }
 let config h = h.m.Machine.cfg
 let machine h = h.m
 
@@ -33,11 +33,10 @@ let peek_image h addr =
   let best = ref None in
   Array.iter
     (fun ns ->
-      match State_table.get ns.Machine.table line with
-      | State_table.Exclusive -> best := Some ns.Machine.image
-      | State_table.Shared ->
-        if !best = None then best := Some ns.Machine.image
-      | State_table.Invalid -> ())
+      match (State_table.get ns.Machine.table line, !best) with
+      | State_table.Exclusive, _ -> best := Some ns.Machine.image
+      | State_table.Shared, None -> best := Some ns.Machine.image
+      | State_table.Shared, Some _ | State_table.Invalid, _ -> ())
     h.m.Machine.nodes;
   match !best with
   | Some img -> img
@@ -78,16 +77,20 @@ let run ?(run_ahead = true) h body =
   assert (not h.ran);
   h.ran <- true;
   let cfg = h.m.Machine.cfg in
-  ignore
-    (Engine.run ~nprocs:cfg.Config.nprocs ~max_cycles:cfg.Config.max_cycles
-       ~run_ahead
-       ~arrival_hint:(Machine.earliest_arrival h.m)
-       ~lookahead:(lookahead_matrix h.m)
-       (fun eng ->
-         let p = Protocol.make_ctx h.m eng in
-         let ctx = { p; in_batch = false } in
-         body ctx;
-         Protocol.drain p))
+  let outcome =
+    Engine.run ~nprocs:cfg.Config.nprocs ~max_cycles:cfg.Config.max_cycles
+      ~run_ahead
+      ~arrival_hint:(Machine.earliest_arrival h.m)
+      ~lookahead:(lookahead_matrix h.m)
+      (fun eng ->
+        let p = Protocol.make_ctx h.m eng in
+        let ctx = { p; in_batch = false } in
+        body ctx;
+        Protocol.drain p)
+  in
+  h.sched <- (outcome.Engine.yields_performed, outcome.Engine.yields_elided)
+
+let sched_counts h = h.sched
 
 let now ctx = Engine.now (Protocol.engine_proc ctx.p)
 

@@ -114,3 +114,8 @@ val messages_local : handle -> int
 
 val messages_remote : handle -> int
 val downgrade_messages : handle -> int
+
+val sched_counts : handle -> int * int
+(** (performed, elided) yield-effect counts of this handle's {!run} —
+    the per-run scheduler observability of {!Shasta_sim.Engine.outcome}.
+    [(0, 0)] before [run]. *)

@@ -11,6 +11,17 @@ let variants =
     ("+ both", true, true);
   ]
 
+let specs ?(apps = default_apps) ?(scale = 1.0) () =
+  List.concat_map
+    (fun app ->
+      let base_spec = Runner.smp ~scale app 16 ~clustering:4 in
+      base_spec
+      :: List.map
+           (fun (_, smp_sync, share_directory) ->
+             { base_spec with Runner.smp_sync; share_directory })
+           variants)
+    apps
+
 let render ?(apps = default_apps) ?(scale = 1.0) () =
   let header =
     [ "app"; "configuration"; "time vs paper cfg"; "sync share"; "local msgs"; "remote msgs" ]

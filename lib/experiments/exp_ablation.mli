@@ -9,3 +9,7 @@
     16-processor, clustering-4 runs. *)
 
 val render : ?apps:string list -> ?scale:float -> unit -> string
+
+val specs : ?apps:string list -> ?scale:float -> unit -> Runner.spec list
+(** Every spec [render] will consult — for prefetching through
+    {!Runner.run_batch}. *)

@@ -15,6 +15,11 @@ let spec ~checks ~scale app =
     share_directory = false;
   }
 
+let specs ?(scale = 1.0) () =
+  List.concat_map
+    (fun app -> [ spec ~checks:false ~scale app; spec ~checks:true ~scale app ])
+    Registry.names
+
 let render ?(scale = 1.0) () =
   let slowdowns = ref [] in
   let rows =

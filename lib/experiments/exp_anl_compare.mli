@@ -8,3 +8,7 @@
     on average 12.7% slower, mostly from the checking overhead. *)
 
 val render : ?scale:float -> unit -> string
+
+val specs : ?scale:float -> unit -> Runner.spec list
+(** Every spec [render] will consult — for prefetching through
+    {!Runner.run_batch}. *)

@@ -26,6 +26,15 @@ let segments base_cycles (r : Runner.result) =
       100.0 *. f *. rel)
     Stats.categories
 
+let specs ?(vg = false) ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
+  let apps = if vg then Registry.table2 else Registry.names in
+  List.concat_map
+    (fun app ->
+      List.concat_map
+        (fun n -> List.map snd (configs ~vg ~scale app n))
+        procs)
+    apps
+
 let render ?(vg = false) ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
   let apps = if vg then Registry.table2 else Registry.names in
   let header =

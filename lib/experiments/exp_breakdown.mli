@@ -9,3 +9,7 @@
     six applications). *)
 
 val render : ?vg:bool -> ?procs:int list -> ?scale:float -> unit -> string
+
+val specs : ?vg:bool -> ?procs:int list -> ?scale:float -> unit -> Runner.spec list
+(** Every spec [render] will consult — for prefetching through
+    {!Runner.run_batch}. *)

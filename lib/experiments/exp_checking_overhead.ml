@@ -1,6 +1,16 @@
 module Table = Shasta_util.Text_table
 module Registry = Shasta_apps.Registry
 
+let specs ?(scale = 1.0) () =
+  List.concat_map
+    (fun app ->
+      [
+        Runner.sequential ~scale app;
+        Runner.base ~scale app 1;
+        Runner.smp ~scale app 1 ~clustering:1;
+      ])
+    Registry.names
+
 let render ?(scale = 1.0) () =
   let rows =
     List.map

@@ -7,3 +7,7 @@
     Water codes most affected by the SMP changes of §3.4.1. *)
 
 val render : ?scale:float -> unit -> string
+
+val specs : ?scale:float -> unit -> Runner.spec list
+(** Every spec [render] will consult — for prefetching through
+    {!Runner.run_batch}. *)

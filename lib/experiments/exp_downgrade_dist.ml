@@ -2,6 +2,12 @@ module Table = Shasta_util.Text_table
 module Registry = Shasta_apps.Registry
 module Histogram = Shasta_util.Histogram
 
+let specs ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
+  List.concat_map
+    (fun app ->
+      List.map (fun n -> Runner.smp ~scale app n ~clustering:4) procs)
+    Registry.names
+
 let render ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
   let header =
     [ "app"; "procs"; "downgrades"; "0 msgs"; "1 msg"; "2 msgs"; "3 msgs"; "mean" ]

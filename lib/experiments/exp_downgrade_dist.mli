@@ -5,3 +5,7 @@
     the paper's notable three-message outlier. *)
 
 val render : ?procs:int list -> ?scale:float -> unit -> string
+
+val specs : ?procs:int list -> ?scale:float -> unit -> Runner.spec list
+(** Every spec [render] will consult — for prefetching through
+    {!Runner.run_batch}. *)

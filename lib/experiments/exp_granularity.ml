@@ -12,6 +12,17 @@ let hints =
     ("water-nsq", ("molecule array", 2048));
   ]
 
+let specs ?(scale = 1.0) () =
+  List.concat_map
+    (fun app ->
+      [
+        Runner.sequential ~scale app;
+        Runner.base ~scale app 16;
+        Runner.base ~vg:true ~scale app 16;
+        Runner.smp ~vg:true ~scale app 16 ~clustering:4;
+      ])
+    Registry.table2
+
 let render ?(scale = 1.0) () =
   let header =
     [

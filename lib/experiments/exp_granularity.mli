@@ -5,3 +5,7 @@
     default 64-byte blocks and with the specified granularity. *)
 
 val render : ?scale:float -> unit -> string
+
+val specs : ?scale:float -> unit -> Runner.spec list
+(** Every spec [render] will consult, including the sequential baselines
+    the speedups divide by — for prefetching through {!Runner.run_batch}. *)

@@ -1,6 +1,18 @@
 module Table = Shasta_util.Text_table
 module Registry = Shasta_apps.Registry
 
+let specs ?(scale = 2.0) () =
+  List.concat_map
+    (fun app ->
+      [
+        Runner.sequential ~scale app;
+        Runner.base ~scale app 1;
+        Runner.smp ~scale app 1 ~clustering:1;
+        Runner.base ~scale app 16;
+        Runner.smp ~scale app 16 ~clustering:4;
+      ])
+    Registry.table3
+
 let render ?(scale = 2.0) () =
   let rows =
     List.map

@@ -6,3 +6,7 @@
     persists (64-byte lines, no granularity hints). *)
 
 val render : ?scale:float -> unit -> string
+
+val specs : ?scale:float -> unit -> Runner.spec list
+(** Every spec [render] will consult, including the sequential baselines
+    — for prefetching through {!Runner.run_batch}. *)

@@ -3,3 +3,7 @@
     downgrade messages, normalized to the Base-Shasta total. *)
 
 val render : ?procs:int list -> ?scale:float -> unit -> string
+
+val specs : ?procs:int list -> ?scale:float -> unit -> Runner.spec list
+(** Every spec [render] will consult — for prefetching through
+    {!Runner.run_batch}. *)

@@ -62,6 +62,11 @@ let with_downgrades ~writers () =
       Dsm.barrier ctx b);
   mean_read_latency_us h 0
 
+(* The microbenchmarks build bespoke machines directly (placement and
+   access patterns a Runner.spec cannot express), so there is nothing to
+   prefetch; they run inline during [render]. *)
+let specs () : Runner.spec list = []
+
 let render () =
   let us v = Printf.sprintf "%.1f us" v in
   let basics =

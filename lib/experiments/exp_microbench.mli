@@ -8,3 +8,7 @@
     for the first downgrade, +5 us for each additional one). *)
 
 val render : unit -> string
+
+val specs : unit -> Runner.spec list
+(** Always [[]]: the microbenchmarks build bespoke machines inline and
+    have no {!Runner.spec} representation. *)

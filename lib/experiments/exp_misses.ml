@@ -13,6 +13,19 @@ let classes =
     ("up3", { Stats.kind = Msg.Upgrade; three_hop = true });
   ]
 
+let specs ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
+  List.concat_map
+    (fun app ->
+      List.concat_map
+        (fun n ->
+          [
+            Runner.base ~scale app n;
+            Runner.smp ~scale app n ~clustering:2;
+            Runner.smp ~scale app n ~clustering:4;
+          ])
+        procs)
+    Registry.names
+
 let render ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
   let header =
     [ "app"; "procs"; "config" ]

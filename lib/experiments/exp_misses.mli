@@ -7,3 +7,7 @@
     higher (protocol locking) unless reduced contention wins. *)
 
 val render : ?procs:int list -> ?scale:float -> unit -> string
+
+val specs : ?procs:int list -> ?scale:float -> unit -> Runner.spec list
+(** Every spec [render] will consult — for prefetching through
+    {!Runner.run_batch}. *)

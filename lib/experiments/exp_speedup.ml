@@ -7,6 +7,15 @@ let smp_spec ?vg ?scale app n =
   if n = 1 then Runner.smp ?vg ?scale app 1 ~clustering:1
   else Runner.smp ?vg ?scale app n ~clustering:(smp_clustering n)
 
+let specs ?(procs = [ 1; 2; 4; 8; 16 ]) ?(scale = 1.0) () =
+  List.concat_map
+    (fun app ->
+      Runner.sequential ~scale app
+      :: List.concat_map
+           (fun n -> [ Runner.base ~scale app n; smp_spec ~scale app n ])
+           procs)
+    Registry.names
+
 let render ?(procs = [ 1; 2; 4; 8; 16 ]) ?(scale = 1.0) () =
   let header =
     "app" :: "protocol" :: List.map (fun n -> string_of_int n ^ "p") procs

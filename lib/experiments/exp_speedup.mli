@@ -6,3 +6,7 @@
     configurations plotted in the paper. *)
 
 val render : ?procs:int list -> ?scale:float -> unit -> string
+
+val specs : ?procs:int list -> ?scale:float -> unit -> Runner.spec list
+(** Every spec [render] will consult, including the sequential baselines
+    the speedups divide by — for prefetching through {!Runner.run_batch}. *)

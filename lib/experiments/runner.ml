@@ -66,13 +66,20 @@ type result = {
   verdict : App.verdict;
 }
 
+(* The memo cache is read and filled from the coordinating domain and —
+   during [run_batch] — observed while worker domains execute misses, so
+   every access goes through [cache_mutex]. Results themselves are
+   immutable once constructed. *)
 let cache : (spec, result) Hashtbl.t = Hashtbl.create 64
+let cache_mutex = Mutex.create ()
+let with_cache f = Mutex.protect cache_mutex f
 
 (* Cumulative parallel cycles over every run actually executed (cache
    misses only), so callers can attribute simulated work to a span of
-   host time by differencing. *)
-let executed_cycles = ref 0
-let simulated_cycles () = !executed_cycles
+   host time by differencing. Atomic: executions may happen on worker
+   domains. *)
+let executed_cycles = Atomic.make 0
+let simulated_cycles () = Atomic.get executed_cycles
 
 let execute spec =
   let maker = Shasta_apps.Registry.find spec.app in
@@ -94,7 +101,7 @@ let execute spec =
       (Printf.sprintf "experiment run failed verification: %s (%s)" spec.app
          verdict.App.detail);
   let downgrade_msgs = Dsm.downgrade_messages h in
-  executed_cycles := !executed_cycles + Dsm.parallel_cycles h;
+  ignore (Atomic.fetch_and_add executed_cycles (Dsm.parallel_cycles h));
   {
     spec;
     workload = inst.App.workload;
@@ -108,12 +115,45 @@ let execute spec =
   }
 
 let run spec =
-  match Hashtbl.find_opt cache spec with
+  match with_cache (fun () -> Hashtbl.find_opt cache spec) with
   | Some r -> r
   | None ->
     let r = execute spec in
-    Hashtbl.replace cache spec r;
+    with_cache (fun () -> Hashtbl.replace cache spec r);
     r
+
+(* Batch execution: dedupe the request list against itself and the
+   cache, execute the misses on a domain pool, publish under the mutex.
+   Per-spec once-semantics holds because (a) duplicates within the batch
+   are collapsed here, and (b) batches and [run] are issued sequentially
+   by the coordinating domain, so a spec cached by an earlier batch is
+   filtered out before any worker sees the later one. Each [execute] is
+   self-contained (fresh machine, no cross-run state — DESIGN.md §3c),
+   and its result is independent of which domain runs it, so the cache
+   contents — and everything rendered from them — are identical to
+   [jobs = 1] in-place execution. *)
+let run_batch ?jobs specs =
+  let jobs = match jobs with Some j -> j | None -> Shasta_util.Pool.default_jobs () in
+  let misses =
+    with_cache (fun () ->
+        let seen = Hashtbl.create 64 in
+        List.filter
+          (fun spec ->
+            if Hashtbl.mem cache spec || Hashtbl.mem seen spec then false
+            else begin
+              Hashtbl.add seen spec ();
+              true
+            end)
+          specs)
+  in
+  if misses <> [] then
+    Shasta_util.Pool.with_pool ~jobs (fun pool ->
+        misses
+        |> List.map (fun spec ->
+               Shasta_util.Pool.submit pool (fun () ->
+                   let r = execute spec in
+                   with_cache (fun () -> Hashtbl.replace cache spec r)))
+        |> List.iter Shasta_util.Pool.await)
 
 let seconds cycles = float_of_int cycles /. 3.0e8
 
@@ -122,4 +162,4 @@ let speedup spec =
   let par = run spec in
   float_of_int seq.parallel_cycles /. float_of_int par.parallel_cycles
 
-let cache_size () = Hashtbl.length cache
+let cache_size () = with_cache (fun () -> Hashtbl.length cache)

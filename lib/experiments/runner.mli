@@ -44,6 +44,19 @@ val run : spec -> result
     application's result verification fails — every experiment run is
     also a correctness check. *)
 
+val run_batch : ?jobs:int -> spec list -> unit
+(** Warm the cache for a list of specs: dedupe the list against itself
+    and against the cache, execute the misses concurrently on a
+    {!Shasta_util.Pool} of [jobs] domains ([Pool.default_jobs ()] when
+    omitted — the [SHASTA_JOBS] environment variable or the machine's
+    core count), and publish the results. [jobs = 1] executes in place,
+    with no domains spawned. Every individual simulation is
+    deterministic and self-contained, so subsequent {!run} calls — and
+    tables rendered from them — are byte-identical whatever [jobs] was.
+    A failed run re-raises after the whole batch has finished; completed
+    results of the batch are still cached. Must be called from the
+    coordinating (main) domain, never from inside another batch. *)
+
 val seconds : int -> float
 (** Simulated seconds from a cycle count (300 MHz clock). *)
 

@@ -1,0 +1,79 @@
+type t = {
+  name : string;
+  render : scale:float -> string;
+  specs : scale:float -> Runner.spec list;
+}
+
+(* Table 3 doubles the problem scale relative to the harness-wide factor
+   (the paper's "larger problem sizes"); keeping the factor here makes
+   render and specs agree by construction. *)
+let all =
+  [
+    {
+      name = "table1";
+      render = (fun ~scale -> Exp_checking_overhead.render ~scale ());
+      specs = (fun ~scale -> Exp_checking_overhead.specs ~scale ());
+    };
+    {
+      name = "table2";
+      render = (fun ~scale -> Exp_granularity.render ~scale ());
+      specs = (fun ~scale -> Exp_granularity.specs ~scale ());
+    };
+    {
+      name = "table3";
+      render = (fun ~scale -> Exp_large_problems.render ~scale:(2.0 *. scale) ());
+      specs = (fun ~scale -> Exp_large_problems.specs ~scale:(2.0 *. scale) ());
+    };
+    {
+      name = "fig3";
+      render = (fun ~scale -> Exp_speedup.render ~scale ());
+      specs = (fun ~scale -> Exp_speedup.specs ~scale ());
+    };
+    {
+      name = "fig4";
+      render = (fun ~scale -> Exp_breakdown.render ~vg:false ~scale ());
+      specs = (fun ~scale -> Exp_breakdown.specs ~vg:false ~scale ());
+    };
+    {
+      name = "fig5";
+      render = (fun ~scale -> Exp_breakdown.render ~vg:true ~scale ());
+      specs = (fun ~scale -> Exp_breakdown.specs ~vg:true ~scale ());
+    };
+    {
+      name = "fig6";
+      render = (fun ~scale -> Exp_misses.render ~scale ());
+      specs = (fun ~scale -> Exp_misses.specs ~scale ());
+    };
+    {
+      name = "fig7";
+      render = (fun ~scale -> Exp_messages.render ~scale ());
+      specs = (fun ~scale -> Exp_messages.specs ~scale ());
+    };
+    {
+      name = "fig8";
+      render = (fun ~scale -> Exp_downgrade_dist.render ~scale ());
+      specs = (fun ~scale -> Exp_downgrade_dist.specs ~scale ());
+    };
+    {
+      name = "micro";
+      render = (fun ~scale:_ -> Exp_microbench.render ());
+      specs = (fun ~scale:_ -> Exp_microbench.specs ());
+    };
+    {
+      name = "anl";
+      render = (fun ~scale -> Exp_anl_compare.render ~scale ());
+      specs = (fun ~scale -> Exp_anl_compare.specs ~scale ());
+    };
+    {
+      name = "ablation";
+      render = (fun ~scale -> Exp_ablation.render ~scale ());
+      specs = (fun ~scale -> Exp_ablation.specs ~scale ());
+    };
+  ]
+
+let names = List.map (fun t -> t.name) all
+let find name = List.find_opt (fun t -> t.name = name) all
+
+let prefetch ?jobs ~scale targets =
+  Runner.run_batch ?jobs
+    (List.concat_map (fun t -> t.specs ~scale) targets)

@@ -1,0 +1,30 @@
+(** The paper's evaluation targets, one per table/figure, as data.
+
+    Each target pairs its renderer with the enumeration of every
+    {!Runner.spec} the renderer will consult (sequential speedup
+    baselines included), so drivers can warm the memo cache through a
+    domain pool with {!Runner.run_batch} and then render sequentially
+    from cache — the rendered output is byte-identical to running
+    everything in place, because each simulation is deterministic and
+    self-contained.
+
+    The Bechamel host-microbenchmark target lives in [bench/] (it needs
+    the [bechamel] library) and is not listed here. *)
+
+type t = {
+  name : string;  (** e.g. ["fig3"] *)
+  render : scale:float -> string;
+  specs : scale:float -> Runner.spec list;
+}
+
+val all : t list
+(** In the paper's presentation order: table1-3, fig3-8, micro, anl,
+    ablation. *)
+
+val names : string list
+
+val find : string -> t option
+
+val prefetch : ?jobs:int -> scale:float -> t list -> unit
+(** Run the union of the targets' spec lists through
+    {!Runner.run_batch}. *)

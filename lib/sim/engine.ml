@@ -6,6 +6,12 @@ type status =
   | Running
   | Finished
 
+(* Yield-effect counters for one [run]. Shared by the run's processors
+   (a run is single-domain: its coroutines interleave, never overlap),
+   never by two runs — which is what makes concurrent [run]s on
+   separate domains race-free. *)
+type counters = { mutable performed : int; mutable elided : int }
+
 type proc = {
   p_id : int;
   p_nprocs : int;
@@ -19,6 +25,13 @@ type proc = {
          visible to [p]. Strictly below it, a poll probe is guaranteed
          empty and no shared state [p] can observe changes. *)
   p_max_cycles : int;
+  p_counters : counters;
+}
+
+type outcome = {
+  finish : int array;
+  yields_performed : int;
+  yields_elided : int;
 }
 
 exception Cycle_limit of int
@@ -44,30 +57,32 @@ let advance_local p c =
    conservative under-estimate of the horizon preserves the simulation
    exactly; only an over-estimate could reorder visible events. *)
 
-let yields_performed = ref 0
-let yields_elided = ref 0
-let yield_counts () = (!yields_performed, !yields_elided)
+(* Process-wide aggregates over completed runs, updated once per [run]
+   (atomically, because runs may execute on worker domains). *)
+let total_performed = Atomic.make 0
+let total_elided = Atomic.make 0
+let yield_counts () = (Atomic.get total_performed, Atomic.get total_elided)
 
 let () =
   at_exit (fun () ->
       if Sys.getenv_opt "SHASTA_SCHED_STATS" <> None then
         Printf.eprintf "[sched] yields performed=%d elided=%d\n%!"
-          !yields_performed !yields_elided)
+          (Atomic.get total_performed) (Atomic.get total_elided))
 
 let yield p =
   if p.p_now >= p.p_horizon then begin
-    incr yields_performed;
+    p.p_counters.performed <- p.p_counters.performed + 1;
     Effect.perform Yield
   end
-  else incr yields_elided
+  else p.p_counters.elided <- p.p_counters.elided + 1
 
 let advance p c =
   advance_local p c;
   if p.p_now >= p.p_horizon then begin
-    incr yields_performed;
+    p.p_counters.performed <- p.p_counters.performed + 1;
     Effect.perform Yield
   end
-  else incr yields_elided
+  else p.p_counters.elided <- p.p_counters.elided + 1
 
 (* Resume [p] under a deep handler that parks the continuation on Yield.
    The handler returns control to the scheduler loop after each effect. *)
@@ -177,6 +192,7 @@ let run ~nprocs ?(max_cycles = 2_000_000_000) ?(run_ahead = true)
   assert (nprocs > 0);
   assert (
     Array.length lookahead = 0 || Array.length lookahead = nprocs * nprocs);
+  let counters = { performed = 0; elided = 0 } in
   let tasks =
     Array.init nprocs (fun i ->
         {
@@ -187,6 +203,7 @@ let run ~nprocs ?(max_cycles = 2_000_000_000) ?(run_ahead = true)
           p_horizon = 0;
           p_visible = min_int;
           p_max_cycles = max_cycles;
+          p_counters = counters;
         })
   in
   let lookahead =
@@ -247,9 +264,6 @@ let run ~nprocs ?(max_cycles = 2_000_000_000) ?(run_ahead = true)
   Array.iter (fun p -> Runq.push q p) tasks;
   while q.Runq.size > 0 do
     let p = Runq.pop q in
-    (* With [run_ahead] off, a horizon in the past forces the effect at
-       every scheduling point, reproducing the always-yield scheduler
-       switch-for-switch. *)
     (* With [run_ahead] off, a past horizon forces the effect at every
        scheduling point and [p_visible] stays in the past so idle waits
        advance one quantum at a time, reproducing the always-yield
@@ -268,4 +282,10 @@ let run ~nprocs ?(max_cycles = 2_000_000_000) ?(run_ahead = true)
     | Finished -> ()
     | Fresh | Running -> assert false
   done;
-  Array.map (fun p -> p.p_now) tasks
+  ignore (Atomic.fetch_and_add total_performed counters.performed);
+  ignore (Atomic.fetch_and_add total_elided counters.elided);
+  {
+    finish = Array.map (fun p -> p.p_now) tasks;
+    yields_performed = counters.performed;
+    yields_elided = counters.elided;
+  }

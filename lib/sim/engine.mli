@@ -32,6 +32,18 @@ exception Cycle_limit of int
 (** Raised (carrying the processor id) when a processor exceeds the run's
     cycle budget — the simulator's deadlock/livelock backstop. *)
 
+type outcome = {
+  finish : int array;  (** each processor's finish time in cycles *)
+  yields_performed : int;
+      (** scheduling points of this run that performed the yield effect *)
+  yields_elided : int;
+      (** scheduling points elided by run-ahead (below the horizon) *)
+}
+(** A run's result. The yield counters are per-run state — [run] keeps
+    no cross-run mutable globals, so independent runs may execute
+    concurrently on separate domains (the multicore experiment runner
+    relies on this; see DESIGN.md §3c). *)
+
 val run :
   nprocs:int ->
   ?max_cycles:int ->
@@ -39,10 +51,10 @@ val run :
   ?arrival_hint:(int -> int) ->
   ?lookahead:int array ->
   (proc -> unit) ->
-  int array
+  outcome
 (** [run ~nprocs body] spawns [nprocs] processors executing [body] and
-    schedules them to completion; result is each processor's finish time
-    in cycles. [max_cycles] defaults to [2_000_000_000].
+    schedules them to completion; [outcome.finish] is each processor's
+    finish time in cycles. [max_cycles] defaults to [2_000_000_000].
 
     [run_ahead] (default [true]): when false, every scheduling point
     performs the yield effect and re-enters the scheduler, as the
@@ -99,6 +111,8 @@ val idle_skip : proc -> quantum:int -> int
     bit-identical to stepping in virtual time. *)
 
 val yield_counts : unit -> int * int
-(** (performed, elided) yield-effect counters, cumulative across runs in
-    this process — observability for benchmarks and tests. Also printed
-    at exit when [SHASTA_SCHED_STATS] is set. *)
+(** (performed, elided) yield-effect counters aggregated over every
+    {e completed} run in this process, on any domain (maintained with
+    [Atomic]) — observability for benchmarks and tests. Also printed at
+    exit when [SHASTA_SCHED_STATS] is set. Per-run values are in
+    {!outcome}. *)

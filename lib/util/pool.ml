@@ -1,0 +1,128 @@
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_mutex : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_state : 'a state;
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  cond : Condition.t;  (* queue non-empty, or stopping *)
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "SHASTA_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "SHASTA_JOBS=%S: expected a positive integer" s))
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let jobs t = t.jobs
+
+(* Workers drain the queue until [stopping] is set AND the queue is
+   empty, so [shutdown] never abandons accepted work. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.cond t.mutex
+  done;
+  match Queue.take_opt t.queue with
+  | Some job ->
+    Mutex.unlock t.mutex;
+    job ();
+    worker_loop t
+  | None ->
+    (* stopping && empty *)
+    Mutex.unlock t.mutex
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let fill fut st =
+  Mutex.lock fut.f_mutex;
+  fut.f_state <- st;
+  Condition.broadcast fut.f_cond;
+  Mutex.unlock fut.f_mutex
+
+let run_into fut f () =
+  match f () with
+  | v -> fill fut (Done v)
+  | exception e -> fill fut (Failed (e, Printexc.get_raw_backtrace ()))
+
+let submit t f =
+  let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending } in
+  if t.jobs = 1 then begin
+    if t.stopping then invalid_arg "Pool.submit: pool is shut down";
+    run_into fut f ()
+  end
+  else begin
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.add (run_into fut f) t.queue;
+    Condition.signal t.cond;
+    Mutex.unlock t.mutex
+  end;
+  fut
+
+let is_pending fut =
+  match fut.f_state with Pending -> true | Done _ | Failed _ -> false
+
+let await fut =
+  Mutex.lock fut.f_mutex;
+  while is_pending fut do
+    Condition.wait fut.f_cond fut.f_mutex
+  done;
+  let st = fut.f_state in
+  Mutex.unlock fut.f_mutex;
+  match st with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let shutdown t =
+  if t.jobs = 1 then t.stopping <- true
+  else begin
+    Mutex.lock t.mutex;
+    let was_stopping = t.stopping in
+    t.stopping <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    if not was_stopping then List.iter Domain.join t.workers
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map_list ~jobs f xs =
+  with_pool ~jobs (fun t ->
+      let futs = List.map (fun x -> submit t (fun () -> f x)) xs in
+      (* Await in submission order; a failure still waits for the rest
+         via [with_pool]'s shutdown before propagating. *)
+      List.map await futs)

@@ -1,0 +1,53 @@
+(** Fixed-size domain pool with futures.
+
+    A dependency-free work queue on top of [Domain]/[Mutex]/[Condition]
+    for running independent, self-contained jobs on real cores. Designed
+    for the experiment runner: jobs are whole simulations (seconds of
+    host work each), so per-job overhead is irrelevant and the pool
+    keeps no fancy structures — one lock, one queue, one condition.
+
+    Contract: jobs must not touch shared mutable state (see DESIGN.md
+    §3c, "the domain-safety contract"). The pool guarantees each
+    submitted job runs exactly once, on some worker domain — or, when
+    the pool was created with [jobs = 1], in place on the submitting
+    domain, with no domains spawned at all. *)
+
+type t
+(** A pool with a fixed worker set. *)
+
+val default_jobs : unit -> int
+(** Worker count to use when the caller does not specify one: the
+    [SHASTA_JOBS] environment variable if set (a positive integer),
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val create : jobs:int -> t
+(** Spawn [jobs] worker domains ([jobs >= 1]; [invalid_arg] otherwise).
+    [jobs = 1] spawns nothing: submissions execute immediately in the
+    submitting domain. *)
+
+val jobs : t -> int
+(** The worker count the pool was created with. *)
+
+type 'a future
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a job. Exceptions raised by the job are captured and
+    re-raised (with their backtrace) by {!await} — including in the
+    in-place [jobs = 1] mode, so error behavior is mode-independent. *)
+
+val await : 'a future -> 'a
+(** Block until the job has run; return its result or re-raise its
+    exception. May be called more than once. *)
+
+val shutdown : t -> unit
+(** Finish every queued job, then join the workers. Submitting after
+    shutdown raises [Invalid_argument]. Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run the function, [shutdown] (also on exception). *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Run [f] over every element on a temporary pool; results are in
+    submission order regardless of completion order. The first element's
+    exception (in list order) is re-raised after all jobs have
+    finished. *)

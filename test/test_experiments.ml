@@ -44,6 +44,46 @@ let test_run_verifies () =
   Alcotest.(check bool) "produced misses" true
     (Shasta_core.Stats.total_misses r.E.Runner.stats > 0)
 
+let test_run_batch_once_semantics () =
+  let s1 = E.Runner.base ~scale "lu" 2 in
+  let s2 = E.Runner.smp ~scale "lu" 2 ~clustering:2 in
+  let s3 = E.Runner.base ~scale "volrend" 2 in
+  (* Warm one spec in place first: the batch must dedup against the
+     cache, not just within itself. *)
+  let pre = E.Runner.run s1 in
+  let c0 = E.Runner.simulated_cycles () in
+  E.Runner.run_batch ~jobs:2 [ s1; s2; s3; s2; s1 ];
+  let c1 = E.Runner.simulated_cycles () in
+  (* Exactly the two fresh specs executed, each exactly once: the cycle
+     delta equals the sum of their parallel times. *)
+  Alcotest.(check int) "fresh specs executed once each"
+    ((E.Runner.run s2).E.Runner.parallel_cycles
+    + (E.Runner.run s3).E.Runner.parallel_cycles)
+    (c1 - c0);
+  E.Runner.run_batch ~jobs:2 [ s1; s2; s3 ];
+  Alcotest.(check int) "re-batch executes nothing" c1
+    (E.Runner.simulated_cycles ());
+  Alcotest.(check bool) "pre-batch cache entry untouched" true
+    (E.Runner.run s1 == pre)
+
+let test_batch_matches_inplace () =
+  (* A spec executed on a worker domain must land in the cache with the
+     same observable result as in-place execution of its twin spec
+     (determinism across domains; the CI diff of --jobs 1 vs default
+     pins the same property end-to-end on whole tables). *)
+  let spec = E.Runner.smp ~scale "fmm" 4 ~clustering:2 in
+  E.Runner.run_batch ~jobs:2 [ spec ];
+  let batched = E.Runner.run spec in
+  let inplace = E.Runner.run { spec with E.Runner.checks = false } in
+  (* Different checks flag => different spec => fresh in-place run; the
+     batched run must agree on everything checks cannot change. *)
+  Alcotest.(check bool) "batched run verified" true
+    batched.E.Runner.verdict.Shasta_apps.App.ok;
+  Alcotest.(check bool) "in-place run verified" true
+    inplace.E.Runner.verdict.Shasta_apps.App.ok;
+  Alcotest.(check string) "same workload" inplace.E.Runner.workload
+    batched.E.Runner.workload
+
 let test_messages_split () =
   let r = E.Runner.run (E.Runner.smp ~scale "ocean" 8 ~clustering:4) in
   Alcotest.(check bool) "remote messages" true (r.E.Runner.remote_msgs > 0);
@@ -64,5 +104,9 @@ let () =
           Alcotest.test_case "cached speedups" `Quick test_speedup_consistency;
           Alcotest.test_case "runs verify" `Quick test_run_verifies;
           Alcotest.test_case "message split" `Quick test_messages_split;
+          Alcotest.test_case "run_batch once-semantics" `Quick
+            test_run_batch_once_semantics;
+          Alcotest.test_case "run_batch matches in-place" `Quick
+            test_batch_matches_inplace;
         ] );
     ]

@@ -136,6 +136,35 @@ let water_nsq_vg () =
   let v = verify h in
   Alcotest.(check bool) v.App.detail true v.App.ok
 
+(* Dsm.peek scans every node for a valid copy and must prefer an
+   Exclusive one over a Shared one wherever each sits in the scan order
+   (the Shared-handling arm once used a polymorphic [= None] compare;
+   now a pattern match, pinned here). The states are forged directly —
+   a correct protocol never leaves Shared and Exclusive coexisting. *)
+let peek_prefers_exclusive () =
+  let module ST = Shasta_mem.State_table in
+  let module Image = Shasta_mem.Image in
+  let check_order ~exclusive_node ~shared_node =
+    let cfg = Config.create ~variant:Config.Base ~nprocs:3 () in
+    let h = Dsm.create cfg in
+    let addr = Dsm.alloc h ~block_size:64 ~home:1 64 in
+    let m = Dsm.machine h in
+    let line = Shasta_mem.Layout.line_of m.Machine.layout addr in
+    Array.iter
+      (fun ns -> ST.set ns.Machine.table line ST.Invalid)
+      m.Machine.nodes;
+    ST.set m.Machine.nodes.(shared_node).Machine.table line ST.Shared;
+    Image.store_float m.Machine.nodes.(shared_node).Machine.image addr 1.0;
+    ST.set m.Machine.nodes.(exclusive_node).Machine.table line ST.Exclusive;
+    Image.store_float m.Machine.nodes.(exclusive_node).Machine.image addr 2.0;
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "exclusive@%d over shared@%d" exclusive_node shared_node)
+      2.0 (Dsm.peek_float h addr)
+  in
+  (* Shared encountered before the Exclusive copy, and after it. *)
+  check_order ~exclusive_node:2 ~shared_node:0;
+  check_order ~exclusive_node:0 ~shared_node:2
+
 (* Water-Sp under Base deadlocked on the forward-vs-upgrade busy queue. *)
 let water_sp_base () =
   let inst = Shasta_apps.Water_sp.instance () in
@@ -168,6 +197,8 @@ let () =
           Alcotest.test_case "batched cl2 bs64 seed709 (private raise in pdg)"
             `Quick
             (batched ~clustering:2 ~block_size:64 ~nslots:16 ~nphases:3 ~seed:709);
+          Alcotest.test_case "peek prefers exclusive copy" `Quick
+            peek_prefers_exclusive;
           Alcotest.test_case "water-nsq vg smp-16x4 (store merge family)"
             `Slow water_nsq_vg;
           Alcotest.test_case "water-sp base-8 (fwd deadlock)" `Slow water_sp_base;

@@ -3,12 +3,12 @@
 module Engine = Shasta_sim.Engine
 
 let test_single_proc () =
-  let finish =
+  let outcome =
     Engine.run ~nprocs:1 (fun p ->
         Engine.advance p 100;
         Engine.advance p 50)
   in
-  Alcotest.(check (array int)) "finish time" [| 150 |] finish
+  Alcotest.(check (array int)) "finish time" [| 150 |] outcome.Engine.finish
 
 let test_min_clock_order () =
   (* The slow processor advances in big steps; the fast one in small
@@ -90,10 +90,10 @@ let prop_finish_equals_sum =
   QCheck.Test.make ~name:"finish time equals sum of advances" ~count:50
     QCheck.(list_of_size (Gen.int_range 1 20) (int_range 0 1000))
     (fun steps ->
-      let finish =
+      let outcome =
         Engine.run ~nprocs:1 (fun p -> List.iter (Engine.advance p) steps)
       in
-      finish.(0) = List.fold_left ( + ) 0 steps)
+      outcome.Engine.finish.(0) = List.fold_left ( + ) 0 steps)
 
 let () =
   Alcotest.run "sim"
