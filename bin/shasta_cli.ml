@@ -109,6 +109,111 @@ let report_targets target_names quick jobs =
       jobs;
     0
 
+(* Protocol analyses (lib/check): the litmus model checker over the
+   built-in downgrade-race scenarios, and/or a workload run under the
+   online invariant sanitizer and the happens-before race detector. *)
+let run_check litmus sanitize races budget max_runs fault app_name nprocs
+    protocol clustering scale seed =
+  let module Sanitizer = Shasta_check.Sanitizer in
+  let module Races = Shasta_check.Races in
+  let module Litmus = Shasta_check.Litmus in
+  let module Inspect = Shasta_core.Inspect in
+  let fault =
+    match fault with
+    | None -> None
+    | Some "skip-private-downgrade" -> Some Config.Skip_private_downgrade
+    | Some "skip-flag-stamp" -> Some Config.Skip_flag_stamp
+    | Some other ->
+      Printf.eprintf
+        "unknown fault %S (skip-private-downgrade|skip-flag-stamp)\n" other;
+      exit 2
+  in
+  let rc = ref 0 in
+  let do_litmus =
+    litmus || (app_name = None && (not sanitize) && not races)
+  in
+  if do_litmus then begin
+    let reports = Litmus.check_all ?fault ~budget ~max_runs () in
+    List.iter (fun r -> Format.printf "%a@." Litmus.pp_report r) reports;
+    if List.exists (fun r -> r.Litmus.failures <> []) reports then rc := 1
+  end;
+  (match app_name with
+  | None ->
+    if sanitize || races then begin
+      Printf.eprintf "--sanitize/--races need a workload argument\n";
+      rc := 2
+    end
+  | Some name -> (
+    match Registry.find name with
+    | exception Not_found ->
+      Printf.eprintf "unknown application %S; try: %s\n" name
+        (String.concat " " Registry.names);
+      rc := 2
+    | maker ->
+      let variant =
+        match protocol with
+        | "base" -> Config.Base
+        | "smp" -> Config.Smp
+        | other ->
+          Printf.eprintf "unknown protocol %S (base|smp)\n" other;
+          exit 2
+      in
+      let clustering = if variant = Config.Base then 1 else clustering in
+      let inst = maker ~vg:false ~scale () in
+      let heap = max (1 lsl 22) inst.App.heap_bytes in
+      let heap = (heap + 4095) / 4096 * 4096 in
+      let cfg =
+        Config.create ~variant ~nprocs ~clustering ~heap_bytes:heap ~seed
+          ~sanitize:(if races then 2 else 1)
+          ?fault ()
+      in
+      let h = Dsm.create cfg in
+      let m = Dsm.machine h in
+      let san = Sanitizer.attach m in
+      let rd = if races then Some (Races.attach m) else None in
+      let body, verify = inst.App.setup h in
+      Printf.printf "checking %s: %s\n%!" inst.App.name inst.App.workload;
+      (try
+         Dsm.run h body;
+         let verdict = verify h in
+         if not verdict.App.ok then begin
+           Printf.printf "result FAILED: %s\n" verdict.App.detail;
+           rc := 1
+         end;
+         match Inspect.report m with
+         | [] -> ()
+         | vs ->
+           List.iter
+             (fun v -> Printf.printf "post-run: %s\n" (Inspect.describe v))
+             vs;
+           rc := 1
+       with
+      | Inspect.Violation vs ->
+        List.iter
+          (fun v -> Printf.printf "barrier sweep: %s\n" (Inspect.describe v))
+          vs;
+        rc := 1
+      | Shasta_core.Protocol.Protocol_violation _ as e ->
+        Printf.printf "%s\n" (Printexc.to_string e);
+        rc := 1);
+      Printf.printf "sanitizer: %d transitions checked, %d violation(s)\n"
+        (Sanitizer.events san)
+        (Sanitizer.violation_count san);
+      List.iter
+        (fun v -> Printf.printf "  %s\n" (Inspect.describe v))
+        (Sanitizer.violations san);
+      if Sanitizer.violation_count san > 0 then rc := 1;
+      (match rd with
+      | None -> ()
+      | Some rd ->
+        Printf.printf "races: %d unsynchronized conflicting pair(s)\n"
+          (Races.race_count rd);
+        List.iter
+          (fun r -> Printf.printf "  %s\n" (Races.describe r))
+          (Races.races rd);
+        if Races.race_count rd > 0 then rc := 1)));
+  !rc
+
 let list_apps () =
   List.iter
     (fun (name, (maker : App.maker)) ->
@@ -183,6 +288,69 @@ let report_cmd =
           simulations concurrently on a domain pool")
     Term.(const report_targets $ targets_arg $ quick_arg $ jobs_arg)
 
+let litmus_arg =
+  Arg.(
+    value & flag
+    & info [ "litmus" ]
+        ~doc:
+          "Exhaustively explore the built-in downgrade-race litmus scenarios \
+           (the default when no workload is given).")
+
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Run the workload with the online invariant sanitizer attached (the \
+           default when a workload is given).")
+
+let races_arg =
+  Arg.(
+    value & flag
+    & info [ "races" ]
+        ~doc:
+          "Additionally run the happens-before race detector over the \
+           workload's loads and stores.")
+
+let budget_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "budget" ] ~docv:"B"
+        ~doc:"Litmus: schedule deviations allowed per run.")
+
+let max_runs_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "max-runs" ] ~docv:"N" ~doc:"Litmus: replay cap per scenario.")
+
+let fault_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "fault" ] ~docv:"F"
+        ~doc:
+          "Inject a protocol fault (skip-private-downgrade|skip-flag-stamp) — \
+           for exercising the checkers; every mode must then FAIL.")
+
+let check_app_arg =
+  Arg.(
+    value & pos 0 (some string) None
+    & info [] ~docv:"APP" ~doc:"Workload to check (see $(b,list)).")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Protocol analyses: litmus model checking of downgrade-race \
+          scenarios, online invariant sanitizing, and happens-before race \
+          detection")
+    Term.(
+      const run_check $ litmus_arg $ sanitize_arg $ races_arg $ budget_arg
+      $ max_runs_arg $ fault_arg $ check_app_arg $ nprocs_arg $ protocol_arg
+      $ clustering_arg $ scale_arg $ seed_arg)
+
 let () =
   let doc = "Shasta fine-grain software DSM simulator (HPCA'98 reproduction)" in
-  exit (Cmd.eval' (Cmd.group (Cmd.info "shasta" ~doc) [ run_cmd; report_cmd; list_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "shasta" ~doc)
+          [ run_cmd; report_cmd; check_cmd; list_cmd ]))

@@ -1,0 +1,373 @@
+module Machine = Shasta_core.Machine
+module Config = Shasta_core.Config
+module Dsm = Shasta_core.Dsm
+module Inspect = Shasta_core.Inspect
+module Protocol = Shasta_core.Protocol
+module Observer = Shasta_core.Observer
+module Network = Shasta_net.Network
+module Engine = Shasta_sim.Engine
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios: 2 coherence nodes x 2 processors, all targeting the
+   intra-node downgrade window of §3.4.3 — the paper's race-prone spot:
+   a request arriving for a block while a downgrade for it is pending
+   must queue on the downgrade entry and replay in arrival order. *)
+
+type instance = {
+  handle : Dsm.handle;
+  body : Dsm.ctx -> unit;
+  final : unit -> string option;  (** outcome check after a clean run *)
+}
+
+type scenario = {
+  name : string;
+  what : string;
+  make : fault:Config.fault option -> instance;
+}
+
+(* Tiny heap and a low cycle ceiling: thousands of machines are built
+   per exploration, and a schedule that livelocks must fail fast. *)
+let make_cfg fault =
+  Config.create ~variant:Smp ~nprocs:4 ~procs_per_node:2 ~clustering:2
+    ~heap_bytes:(64 * 1024) ~max_cycles:2_000_000 ~sanitize:1 ?fault ()
+
+(* Two sharers on one node, then an upgrade from the home node: the
+   invalidation reaches one processor of node 0 (sibling misses
+   coalesce, so the directory registers one sharer per node) and its
+   handler must downgrade the sibling's private copy before
+   acknowledging — delaying either the invalidate or the intra-node
+   downgrade message stretches the §3.4.3 window across the barrier
+   release. *)
+let two_sharer_upgrade =
+  {
+    name = "two-sharer-upgrade";
+    what = "2 sharers on one node invalidated by an upgrade";
+    make =
+      (fun ~fault ->
+        let h = Dsm.create (make_cfg fault) in
+        let x = Dsm.alloc h ~home:2 8 in
+        let b0 = Dsm.alloc_barrier h and b1 = Dsm.alloc_barrier h in
+        let got = Array.make 4 (-1) in
+        let body ctx =
+          let p = Dsm.pid ctx in
+          if p < 2 then got.(p) <- Dsm.load_int ctx x;
+          Dsm.barrier ctx b0;
+          if p = 2 then Dsm.store_int ctx x 42;
+          Dsm.barrier ctx b1;
+          got.(p) <- Dsm.load_int ctx x
+        in
+        let final () =
+          if Array.for_all (fun v -> v = 42) got then None
+          else
+            Some
+              (Printf.sprintf "expected 42 everywhere, got [%s]"
+                 (String.concat ";"
+                    (Array.to_list (Array.map string_of_int got))))
+        in
+        { handle = h; body; final })
+  }
+
+(* Both processors of node 0 write (distinct words of) a block, so both
+   hold private state; reads from the other node then force an
+   exclusive-to-shared downgrade with a sibling target, and the second
+   read forward can arrive during the pending downgrade. *)
+let exclusive_handoff =
+  {
+    name = "exclusive-handoff";
+    what = "E->S downgrade with sibling private state, racing read forwards";
+    make =
+      (fun ~fault ->
+        let h = Dsm.create (make_cfg fault) in
+        let x = Dsm.alloc h ~home:2 16 in
+        let b0 = Dsm.alloc_barrier h in
+        let sum = Array.make 4 0 in
+        let body ctx =
+          let p = Dsm.pid ctx in
+          if p = 0 then Dsm.store_int ctx x 7;
+          if p = 1 then Dsm.store_int ctx (x + 8) 9;
+          Dsm.barrier ctx b0;
+          sum.(p) <- Dsm.load_int ctx x + Dsm.load_int ctx (x + 8)
+        in
+        let final () =
+          if Array.for_all (fun v -> v = 16) sum then None
+          else
+            Some
+              (Printf.sprintf "expected 16 everywhere, got [%s]"
+                 (String.concat ";"
+                    (Array.to_list (Array.map string_of_int sum))))
+        in
+        { handle = h; body; final })
+  }
+
+(* Ownership stolen from a node whose processors both touched the block:
+   the ->Invalid downgrade must lower both private entries and stamp the
+   invalid-flag pattern (the two injectable faults live exactly here). *)
+let store_steal =
+  {
+    name = "store-steal";
+    what = "->Invalid downgrade (readex forward) with sibling private state";
+    make =
+      (fun ~fault ->
+        let h = Dsm.create (make_cfg fault) in
+        let x = Dsm.alloc h ~home:2 8 in
+        let bpre = Dsm.alloc_barrier h in
+        let b0 = Dsm.alloc_barrier h and b1 = Dsm.alloc_barrier h in
+        let got = Array.make 4 (-1) in
+        let body ctx =
+          let p = Dsm.pid ctx in
+          if p = 0 then Dsm.store_int ctx x 1;
+          Dsm.barrier ctx bpre;
+          if p = 1 then ignore (Dsm.load_int ctx x);
+          Dsm.barrier ctx b0;
+          if p = 2 then Dsm.store_int ctx x 2;
+          Dsm.barrier ctx b1;
+          got.(p) <- Dsm.load_int ctx x
+        in
+        let final () =
+          if Array.for_all (fun v -> v = 2) got then None
+          else
+            Some
+              (Printf.sprintf "expected 2 everywhere, got [%s]"
+                 (String.concat ";"
+                    (Array.to_list (Array.map string_of_int got))))
+        in
+        { handle = h; body; final })
+  }
+
+(* Lock-serialized increments ping-ponging a block between the nodes:
+   ownership transfer under contention, with downgrades on both sides. *)
+let lock_counter =
+  {
+    name = "lock-counter";
+    what = "lock-serialized counter ping-ponging ownership between nodes";
+    make =
+      (fun ~fault ->
+        let h = Dsm.create (make_cfg fault) in
+        let x = Dsm.alloc h ~home:0 8 in
+        let l = Dsm.alloc_lock h in
+        let b0 = Dsm.alloc_barrier h in
+        let got = Array.make 4 (-1) in
+        let body ctx =
+          let p = Dsm.pid ctx in
+          Dsm.lock ctx l;
+          Dsm.store_int ctx x (Dsm.load_int ctx x + 1);
+          Dsm.unlock ctx l;
+          Dsm.barrier ctx b0;
+          got.(p) <- Dsm.load_int ctx x
+        in
+        let final () =
+          if Array.for_all (fun v -> v = 4) got then None
+          else
+            Some
+              (Printf.sprintf "expected 4 everywhere, got [%s]"
+                 (String.concat ";"
+                    (Array.to_list (Array.map string_of_int got))))
+        in
+        { handle = h; body; final })
+  }
+
+let scenarios = [ two_sharer_upgrade; exclusive_handoff; store_steal; lock_counter ]
+
+(* ------------------------------------------------------------------ *)
+(* Exploration: replay-based delay-bounded DFS. A schedule is encoded
+   as a prefix of choice indices, one per ELIGIBLE decision point — a
+   scheduling decision at which some processor other than the (clock,
+   pid) minimum has a message due (arrived at or before its own clock),
+   so resuming it next runs a protocol handler ahead of lower-clock
+   work. Reordering handlers against inline application code and
+   against each other is precisely the protocol's race surface (§3.3,
+   §3.4.3); every other point is kept on the default schedule, which
+   collapses the thousands of spin-wait yields a run performs into a
+   tree focused on handler interleavings. Index 0 of a decision is the
+   default (the global minimum); beyond the prefix every point takes
+   index 0, so replaying a prefix is deterministic and children can be
+   derived from a parent's trace. *)
+
+let due (m : Machine.t) p =
+  match m.Machine.procs.(p).Machine.engine with
+  | None -> false
+  | Some ep -> Network.earliest_arrival m.Machine.net ~dst:p <= Engine.now ep
+
+(* The decision's candidates: the default choice, then every other
+   runnable processor with a due message; [None] when that leaves no
+   real alternative. *)
+let eligible_alts (m : Machine.t) (cands : int array) =
+  let alts = ref [] in
+  for i = Array.length cands - 1 downto 1 do
+    if due m cands.(i) then alts := cands.(i) :: !alts
+  done;
+  match !alts with
+  | [] -> None
+  | alts -> Some (Array.of_list (cands.(0) :: alts))
+
+type run_record = {
+  lens : int array;  (** candidate count at each eligible point *)
+  cands : int array array;  (** the candidate pids at each eligible point *)
+  seg_procs : int list array;  (** processors stepped after point i *)
+  seg_dsts : int list array;  (** message destinations sent after point i *)
+  nodes : int array;  (** proc -> coherence node *)
+  failure : string option;
+}
+
+let run_one sc ~fault (prefix : int array) =
+  let { handle = h; body; final } = sc.make ~fault in
+  let m = Dsm.machine h in
+  let san = Sanitizer.attach m in
+  let lens = ref [] and cands = ref [] and segs = ref [] in
+  let nelig = ref 0 in
+  let seg_proc p = match !segs with [] -> () | (ps, _) :: _ -> ps := p :: !ps in
+  let seg_dst d = match !segs with [] -> () | (_, ds) :: _ -> ds := d :: !ds in
+  Machine.add_observer m
+    {
+      Observer.nil with
+      Observer.on_send = (fun ~src:_ ~dst ~now:_ _ -> seg_dst dst);
+    };
+  (* Consecutive decisions with an identical alternative set are the
+     same choice offered again a few cycles later: only the first one
+     consumes a prefix slot ("run the handler at its first opportunity
+     or keep it delayed until the situation changes"). *)
+  let last = ref [||] in
+  let choose cs =
+    let pick =
+      match eligible_alts m cs with
+      | None ->
+        last := [||];
+        cs.(0)
+      | Some alts when alts = !last -> cs.(0)
+      | Some alts ->
+        last := alts;
+        let i = !nelig in
+        incr nelig;
+        let len = Array.length alts in
+        lens := len :: !lens;
+        cands := alts :: !cands;
+        segs := (ref [], ref []) :: !segs;
+        let c =
+          if i < Array.length prefix && prefix.(i) < len then prefix.(i) else 0
+        in
+        alts.(c)
+    in
+    seg_proc pick;
+    pick
+  in
+  let failure =
+    try
+      Dsm.run_controlled ~choose h body;
+      if Sanitizer.violation_count san > 0 then
+        Some
+          ("sanitizer: "
+          ^ String.concat "; "
+              (List.map Inspect.describe (Sanitizer.violations san)))
+      else
+        match Inspect.report m with
+        | [] -> final ()
+        | vs ->
+          Some
+            ("post-run invariants: "
+            ^ String.concat "; " (List.map Inspect.describe vs))
+    with
+    | Engine.Cycle_limit p ->
+      Some (Printf.sprintf "livelock: processor %d hit the cycle limit" p)
+    | Protocol.Protocol_violation _ as e -> Some (Printexc.to_string e)
+    | Inspect.Violation _ as e -> Some (Printexc.to_string e)
+    | Invalid_argument msg -> Some ("Invalid_argument: " ^ msg)
+    | Failure msg -> Some ("Failure: " ^ msg)
+  in
+  {
+    lens = Array.of_list (List.rev !lens);
+    cands = Array.of_list (List.rev !cands);
+    seg_procs = Array.of_list (List.rev_map (fun (ps, _) -> List.rev !ps) !segs);
+    seg_dsts = Array.of_list (List.rev_map (fun (_, ds) -> List.rev !ds) !segs);
+    nodes =
+      Array.init m.Machine.cfg.Config.nprocs (fun p -> Machine.node_of m p);
+    failure;
+  }
+
+(* Simple sleep-set reduction: deviating at point [d] in favor of
+   processor [q] only matters if the segment the default schedule ran
+   between points [d] and [d+1] interacts with [q] — some processor of
+   [q]'s node stepped (shared tables and images), or a message was sent
+   to [q]. An independent segment commutes with [q]'s next step, and the
+   commuted schedule is reachable by deviating at [d+1] instead, which
+   the enumeration covers. *)
+let depends r d q =
+  d >= Array.length r.seg_procs
+  || List.exists (fun p -> r.nodes.(p) = r.nodes.(q)) r.seg_procs.(d)
+  || List.mem q r.seg_dsts.(d)
+
+type failure = { prefix : int list; what : string }
+
+type report = {
+  scenario : string;
+  what : string;
+  runs : int;
+  decision_points : int;  (** eligible points on the default schedule *)
+  capped : bool;  (** run budget exhausted before the frontier emptied *)
+  failures : failure list;
+}
+
+let check ?fault ?(budget = 2) ?(max_runs = 20_000) sc =
+  let runs = ref 0 and capped = ref false and failures = ref [] in
+  let decision_points = ref 0 in
+  let frontier = ref [ [||] ] in
+  while !frontier <> [] do
+    match !frontier with
+    | [] -> ()
+    | prefix :: rest ->
+      if !runs >= max_runs then begin
+        capped := true;
+        frontier := []
+      end
+      else begin
+        frontier := rest;
+        let r = run_one sc ~fault prefix in
+        incr runs;
+        if Array.length prefix = 0 then
+          decision_points := Array.length r.lens;
+        (match r.failure with
+        | Some what ->
+          failures := { prefix = Array.to_list prefix; what } :: !failures
+        | None ->
+          (* Only clean runs expand: a failing schedule is already a
+             result, and its trace past the failure is meaningless. *)
+          let deviations =
+            Array.fold_left (fun a c -> if c > 0 then a + 1 else a) 0 prefix
+          in
+          if deviations < budget then
+            (* Depth-first: push deeper deviations first so sibling
+               schedules that share a long prefix run back-to-back. *)
+            for d = Array.length r.lens - 1 downto Array.length prefix do
+              for alt = r.lens.(d) - 1 downto 1 do
+                if depends r d r.cands.(d).(alt) then begin
+                  let child = Array.make (d + 1) 0 in
+                  Array.blit prefix 0 child 0 (Array.length prefix);
+                  child.(d) <- alt;
+                  frontier := child :: !frontier
+                end
+              done
+            done)
+      end
+  done;
+  {
+    scenario = sc.name;
+    what = sc.what;
+    runs = !runs;
+    decision_points = !decision_points;
+    capped = !capped;
+    failures = List.rev !failures;
+  }
+
+let check_all ?fault ?budget ?max_runs () =
+  List.map (fun sc -> check ?fault ?budget ?max_runs sc) scenarios
+
+let pp_report ppf r =
+  Format.fprintf ppf "%-20s %5d runs, %3d decision points%s: %s" r.scenario
+    r.runs r.decision_points
+    (if r.capped then " (capped)" else "")
+    (match r.failures with
+    | [] -> "ok"
+    | fs ->
+      Format.asprintf "%d schedule(s) FAILED, first: [%s] %s" (List.length fs)
+        (String.concat ";"
+           (List.map string_of_int (List.hd fs).prefix))
+        (List.hd fs).what)

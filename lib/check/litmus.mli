@@ -1,0 +1,64 @@
+(** Litmus model checker: bounded exhaustive exploration of scheduler
+    interleavings over small 2-node / 4-processor scenarios aimed at the
+    intra-node downgrade window (§3.4.3).
+
+    Each scenario is replayed under {!Shasta_core.Dsm.run_controlled}
+    with schedules encoded as prefixes of choice indices over {e
+    eligible} decision points (>= 2 runnable processors while protocol
+    work is in flight); the tree of deviations from the default schedule
+    is explored depth-first up to a deviation budget, with a simple
+    sleep-set reduction pruning alternatives that cannot interact with
+    the segment they would displace. Every run is checked by the online
+    {!Sanitizer}, the {!Shasta_core.Inspect} post-run sweep, a
+    scenario-specific outcome predicate, and the cycle-limit livelock
+    backstop. *)
+
+type instance = {
+  handle : Shasta_core.Dsm.handle;
+  body : Shasta_core.Dsm.ctx -> unit;
+  final : unit -> string option;
+      (** outcome check after a clean run; [Some what] = failure *)
+}
+
+type scenario = {
+  name : string;
+  what : string;  (** one-line description of the exercised window *)
+  make : fault:Shasta_core.Config.fault option -> instance;
+}
+
+val scenarios : scenario list
+(** The built-in suite; every scenario drives at least one downgrade
+    with queued-or-racing traffic on the downgraded block. *)
+
+type failure = { prefix : int list; what : string }
+(** A failing schedule: the choice-index prefix reproduces it exactly
+    under [check] with the same scenario and fault. *)
+
+type report = {
+  scenario : string;
+  what : string;
+  runs : int;
+  decision_points : int;  (** eligible points on the default schedule *)
+  capped : bool;  (** run budget exhausted before the frontier emptied *)
+  failures : failure list;
+}
+
+val check :
+  ?fault:Shasta_core.Config.fault ->
+  ?budget:int ->
+  ?max_runs:int ->
+  scenario ->
+  report
+(** Explore one scenario. [budget] (default 2) bounds deviations from
+    the default schedule per run; [max_runs] (default 20000) bounds
+    total replays — [capped] reports whether it bit. The built-in suite
+    completes uncapped at the defaults. *)
+
+val check_all :
+  ?fault:Shasta_core.Config.fault ->
+  ?budget:int ->
+  ?max_runs:int ->
+  unit ->
+  report list
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,42 @@
+(** Happens-before race detection over simulated application accesses.
+
+    Vector clocks are maintained per processor and merged along every
+    synchronization-bearing edge the simulated system has: message
+    delivery (per-pair FIFO channels carrying send-time snapshots),
+    barrier episodes, lock transfers, and the intra-node downgrade
+    protocol. Per-8-byte-word shadow state (last-writer epoch plus a
+    read table, FastTrack-style) then flags conflicting access pairs not
+    ordered by any such edge, with per-processor virtual-time
+    provenance.
+
+    Node-copy subtlety: a data reply deposits its clock on the receiving
+    node's copy, and every access absorbs the copy's clock — siblings
+    reading data fetched by another processor's miss inherit the edge.
+    Sibling {e stores}, however, flow only outward (via data replies):
+    absorbing them locally would hide unsynchronized same-node
+    conflicts, the exact §3.4.3 race window. *)
+
+type access = Load | Store
+
+type race = {
+  addr : int;  (** 8-byte word address *)
+  first_kind : access;
+  first_proc : int;
+  first_now : int;  (** virtual cycle of the earlier access on its processor *)
+  second_kind : access;
+  second_proc : int;
+  second_now : int;
+}
+
+type t
+
+val attach : Shasta_core.Machine.t -> t
+(** Install the detector (composes with any other observer). Enabled by
+    the harnesses at [SHASTA_SANITIZE=2]. *)
+
+val races : t -> race list
+(** Distinct races (deduplicated by word and processor pair) in
+    detection order. *)
+
+val race_count : t -> int
+val describe : race -> string

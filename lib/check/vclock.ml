@@ -1,0 +1,22 @@
+type t = int array
+
+let create n = Array.make n 0
+let copy = Array.copy
+let get t p = t.(p)
+let tick t p = t.(p) <- t.(p) + 1
+
+let join t other =
+  for i = 0 to Array.length t - 1 do
+    if other.(i) > t.(i) then t.(i) <- other.(i)
+  done
+
+let leq a b =
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) > b.(i) then ok := false
+  done;
+  !ok
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t)))

@@ -1,0 +1,21 @@
+(** Vector clocks over a fixed processor set, mutable in place. *)
+
+type t
+
+val create : int -> t
+(** All-zero clock of the given width. *)
+
+val copy : t -> t
+val get : t -> int -> int
+
+val tick : t -> int -> unit
+(** Advance one processor's component — one local event. *)
+
+val join : t -> t -> unit
+(** [join t other] raises [t] to the componentwise maximum. *)
+
+val leq : t -> t -> bool
+(** Componentwise [<=]: whether the first clock happened-before (or
+    equals) the second. *)
+
+val pp : Format.formatter -> t -> unit

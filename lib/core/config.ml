@@ -1,4 +1,14 @@
 type variant = Base | Smp
+type fault = Skip_private_downgrade | Skip_flag_stamp
+
+(* SHASTA_SANITIZE is read once per [create] so the toggle works on any
+   harness that builds its configs after the environment is set (the
+   bench harness, the experiment runner, the CLI). *)
+let env_sanitize () =
+  match Sys.getenv_opt "SHASTA_SANITIZE" with
+  | None | Some "" | Some "0" -> 0
+  | Some "1" -> 1
+  | Some s -> ( match int_of_string_opt s with Some n when n > 1 -> 2 | _ -> 1)
 
 type t = {
   variant : variant;
@@ -14,13 +24,19 @@ type t = {
   seed : int;
   smp_sync : bool;
   share_directory : bool;
+  sanitize : int;
+  fault : fault option;
 }
 
 let create ?(variant = Base) ?(nprocs = 1) ?(procs_per_node = 4)
     ?(clustering = 1) ?(line_size = 64) ?(heap_bytes = 8 * 1024 * 1024)
     ?(checks_enabled = true) ?(timing = Timing.default)
     ?(link = Shasta_net.Link.default) ?(max_cycles = 2_000_000_000)
-    ?(seed = 42) ?(smp_sync = false) ?(share_directory = false) () =
+    ?(seed = 42) ?(smp_sync = false) ?(share_directory = false)
+    ?sanitize ?fault () =
+  let sanitize =
+    match sanitize with Some s -> max 0 s | None -> env_sanitize ()
+  in
   if nprocs <= 0 then invalid_arg "Config.create: nprocs";
   if procs_per_node <= 0 then invalid_arg "Config.create: procs_per_node";
   if clustering <= 0 then invalid_arg "Config.create: clustering";
@@ -45,6 +61,8 @@ let create ?(variant = Base) ?(nprocs = 1) ?(procs_per_node = 4)
     seed;
     smp_sync;
     share_directory;
+    sanitize;
+    fault;
   }
 
 let nnodes t = (t.nprocs + t.clustering - 1) / t.clustering

@@ -4,6 +4,16 @@ type variant =
   | Base  (** Base-Shasta: message passing between all processors *)
   | Smp  (** SMP-Shasta: memory shared within each clustering group *)
 
+type fault =
+  | Skip_private_downgrade
+      (** a processor handling a downgrade message leaves its private
+          state table untouched (the §3.4.3 bug class) *)
+  | Skip_flag_stamp
+      (** invalid-flag stamping is skipped when a block is surrendered,
+          so later flag-based load checks read stale data as valid *)
+(** Deliberate protocol faults, strictly for testing the sanitizer and
+    the litmus model checker. Never set in a real configuration. *)
+
 type t = private {
   variant : variant;
   nprocs : int;
@@ -27,6 +37,13 @@ type t = private {
       (** 5 extension: a requester colocated with the home's node
           accesses the directory directly, eliminating the intra-node
           request/reply messages *)
+  sanitize : int;
+      (** analysis level: 0 off; 1 online invariant sanitizing plus an
+          {!Inspect.report} sweep at every barrier; 2 additionally
+          enables the happens-before race detector where the harness
+          supports it. Defaults to the [SHASTA_SANITIZE] environment
+          variable. *)
+  fault : fault option;  (** test-only protocol fault injection *)
 }
 
 val create :
@@ -43,6 +60,8 @@ val create :
   ?seed:int ->
   ?smp_sync:bool ->
   ?share_directory:bool ->
+  ?sanitize:int ->
+  ?fault:fault ->
   unit ->
   t
 (** Defaults: [Base], 1 processor, 4 per node, clustering 1, 64-byte

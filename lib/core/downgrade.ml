@@ -17,7 +17,10 @@ let create () = Hashtbl.create 16
 let find t ~block = Hashtbl.find_opt t block
 
 let add t ~block ~target ~deferred ~remaining =
-  assert (not (Hashtbl.mem t block));
+  if Hashtbl.mem t block then
+    invalid_arg
+      (Printf.sprintf "Downgrade.add: block %#x already has a downgrade in progress"
+         block);
   let e = { block; target; deferred; remaining; queued = [] } in
   Hashtbl.replace t block e;
   e

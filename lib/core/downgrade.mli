@@ -37,6 +37,9 @@ val add :
   deferred:deferred ->
   remaining:int ->
   entry
+(** Raises [Invalid_argument] if the block already has a downgrade in
+    progress — at most one downgrade per block per node may be in flight
+    (requests that arrive meanwhile queue on the existing entry). *)
 
 val remove : t -> entry -> unit
 val count : t -> int

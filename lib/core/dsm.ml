@@ -90,9 +90,38 @@ let run ?(run_ahead = true) h body =
   in
   h.sched <- (outcome.Engine.yields_performed, outcome.Engine.yields_elided)
 
+let run_controlled ~choose h body =
+  assert (not h.ran);
+  h.ran <- true;
+  let cfg = h.m.Machine.cfg in
+  let outcome =
+    Engine.run_controlled ~nprocs:cfg.Config.nprocs
+      ~max_cycles:cfg.Config.max_cycles ~choose
+      (fun eng ->
+        let p = Protocol.make_ctx h.m eng in
+        let ctx = { p; in_batch = false } in
+        body ctx;
+        Protocol.drain p)
+  in
+  h.sched <- (outcome.Engine.yields_performed, outcome.Engine.yields_elided)
+
 let sched_counts h = h.sched
 
 let now ctx = Engine.now (Protocol.engine_proc ctx.p)
+let add_observer h o = Machine.add_observer h.m o
+
+(* Application-level access hooks for the happens-before race detector:
+   fired once per simulated load/store after the access completes, never
+   charging cycles (see Observer). *)
+let obs_load ctx ~addr ~len =
+  match (Protocol.machine ctx.p).Machine.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_load ~proc:(pid ctx) ~addr ~len ~now:(now ctx)
+
+let obs_store ctx ~addr ~len =
+  match (Protocol.machine ctx.p).Machine.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_store ~proc:(pid ctx) ~addr ~len ~now:(now ctx)
 
 let compute ctx n =
   Protocol.charge ctx.p n;
@@ -129,7 +158,9 @@ let load64 ctx ~float_load addr =
         Protocol.charge ctx.p (ccost ctx t.Timing.load_check_flag);
         go ()
   in
-  go ()
+  let v = go () in
+  obs_load ctx ~addr ~len:8;
+  v
 
 let store64 ctx addr v =
   check_addr ctx addr;
@@ -142,10 +173,11 @@ let store64 ctx addr v =
   let table = Protocol.check_table ctx.p in
   let layout = (Protocol.machine ctx.p).Machine.layout in
   let line = Layout.line_of layout addr in
-  if State_table.get table line = State_table.Exclusive then
-    Image.store64 (Protocol.node_image ctx.p) addr v
-  else
-    Protocol.store_miss ctx.p ~addr ~len:8 (fun img -> Image.store64 img addr v)
+  (if State_table.get table line = State_table.Exclusive then
+     Image.store64 (Protocol.node_image ctx.p) addr v
+   else
+     Protocol.store_miss ctx.p ~addr ~len:8 (fun img -> Image.store64 img addr v));
+  obs_store ctx ~addr ~len:8
 
 let load_float ctx addr = Int64.float_of_bits (load64 ctx ~float_load:true addr)
 let store_float ctx addr v = store64 ctx addr (Int64.bits_of_float v)
@@ -180,22 +212,28 @@ module Batch = struct
   let load_float ctx addr =
     assert (ctx.in_batch);
     Protocol.charge ctx.p raw_cost;
-    Image.load_float (Protocol.node_image ctx.p) addr
+    let v = Image.load_float (Protocol.node_image ctx.p) addr in
+    obs_load ctx ~addr ~len:8;
+    v
 
   let store_float ctx addr v =
     assert (ctx.in_batch);
     Protocol.charge ctx.p raw_cost;
-    Image.store_float (Protocol.node_image ctx.p) addr v
+    Image.store_float (Protocol.node_image ctx.p) addr v;
+    obs_store ctx ~addr ~len:8
 
   let load_int ctx addr =
     assert (ctx.in_batch);
     Protocol.charge ctx.p raw_cost;
-    Image.load_int (Protocol.node_image ctx.p) addr
+    let v = Image.load_int (Protocol.node_image ctx.p) addr in
+    obs_load ctx ~addr ~len:8;
+    v
 
   let store_int ctx addr v =
     assert (ctx.in_batch);
     Protocol.charge ctx.p raw_cost;
-    Image.store_int (Protocol.node_image ctx.p) addr v
+    Image.store_int (Protocol.node_image ctx.p) addr v;
+    obs_store ctx ~addr ~len:8
 end
 
 let lock ctx l =

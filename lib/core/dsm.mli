@@ -35,6 +35,9 @@ val place : handle -> addr:int -> len:int -> proc:int -> unit
 val alloc_lock : handle -> int
 val alloc_barrier : handle -> int
 
+val add_observer : handle -> Observer.t -> unit
+(** Install analysis hooks ({!Machine.add_observer}) before {!run}. *)
+
 val poke_float : handle -> int -> float -> unit
 (** Setup phase: write an initial value directly into the home node's
     copy (data is born initialized at its home, so the parallel phase
@@ -52,6 +55,13 @@ val run : ?run_ahead:bool -> handle -> (ctx -> unit) -> unit
     [true]) enables the slack-based run-ahead scheduler; disabling it
     forces a full scheduler round-trip at every charged scheduling
     point, which must produce the identical simulation. *)
+
+val run_controlled : choose:(int array -> int) -> handle -> (ctx -> unit) -> unit
+(** {!run} under an external scheduler, for the litmus model checker:
+    run-ahead is disabled, every scheduling point performs, and at each
+    one [choose] picks the next processor from the runnable set (sorted
+    by virtual time, ties by pid — index 0 reproduces the default
+    schedule). See {!Shasta_sim.Engine.run_controlled}. *)
 
 val pid : ctx -> int
 val nprocs : ctx -> int

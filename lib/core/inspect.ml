@@ -26,12 +26,56 @@ let block_in_batch (m : Machine.t) ns block =
   done;
   !hit
 
-let check_invariants (m : Machine.t) =
-  let bad = ref [] in
+type subject = Node of int | Proc of int | Machine_wide
+type violation = { block : int; subject : subject; what : string }
+
+exception Violation of violation list
+
+let describe v =
+  let where =
+    match v.subject with
+    | Node n -> Printf.sprintf "node %d " n
+    | Proc p -> Printf.sprintf "proc %d " p
+    | Machine_wide -> ""
+  in
+  Printf.sprintf "block %#x: %s%s" v.block where v.what
+
+let () =
+  Printexc.register_printer (function
+    | Violation vs ->
+      Some
+        ("Inspect.Violation:\n  " ^ String.concat "\n  " (List.map describe vs))
+    | _ -> None)
+
+(* A block with any protocol activity in flight anywhere — an
+   outstanding miss, a downgrade, pending bits, a deferred flag write,
+   an active batch, or a busy/queued directory entry — may legitimately
+   break the settled-state invariants until that activity completes. *)
+let block_transient (m : Machine.t) block =
   let layout = m.Machine.layout in
-  let quiescent = Machine.quiescent m in
+  let line = Layout.line_of layout block in
+  Array.exists
+    (fun ns ->
+      Miss_table.find ns.Machine.misses ~block <> None
+      || Downgrade.find ns.Machine.downgrades ~block <> None
+      || State_table.pending ns.Machine.table line
+      || State_table.pending_downgrade ns.Machine.table line
+      || Hashtbl.mem ns.Machine.deferred_flags block
+      || Hashtbl.mem ns.Machine.batch_wranges block
+      || block_in_batch m ns block)
+    m.Machine.nodes
+  ||
+  match Directory.find m.Machine.dirs.(Machine.home_of_block m block) ~block with
+  | Some e -> e.Directory.busy || e.Directory.queue <> []
+  | None -> false
+
+let report (m : Machine.t) =
+  let bad = ref [] in
+  let push block subject what = bad := { block; subject; what } :: !bad in
+  let layout = m.Machine.layout in
   iter_allocated_blocks m (fun block ->
       let line = Layout.line_of layout block in
+      let transient = block_transient m block in
       let exclusive = ref 0 and valid = ref 0 in
       Array.iteri
         (fun n ns ->
@@ -41,23 +85,27 @@ let check_invariants (m : Machine.t) =
             incr valid
           | State_table.Shared -> incr valid
           | State_table.Invalid -> ());
-          if quiescent then begin
-            if State_table.pending ns.Machine.table line then
-              bad :=
-                Printf.sprintf "block %#x: node %d pending while quiescent" block n
-                :: !bad;
-            if State_table.pending_downgrade ns.Machine.table line then
-              bad :=
-                Printf.sprintf
-                  "block %#x: node %d pending-downgrade while quiescent" block n
-                :: !bad
-          end;
+          (* Pending bits track the miss table; a pending-downgrade bit
+             tracks the downgrade table. Both pairs are updated with no
+             scheduling point in between, so a sweep never sees them
+             disagree in a correct protocol. *)
+          if
+            State_table.pending ns.Machine.table line
+            && Miss_table.find ns.Machine.misses ~block = None
+          then push block (Node n) "pending with no outstanding miss";
+          (match
+             ( State_table.pending_downgrade ns.Machine.table line,
+               Downgrade.find ns.Machine.downgrades ~block )
+           with
+          | true, None ->
+            push block (Node n) "pending-downgrade with no downgrade entry"
+          | false, Some _ ->
+            push block (Node n) "downgrade entry without pending-downgrade bit"
+          | _ -> ());
           (* Invalid and settled => flag pattern everywhere. *)
           if
-            quiescent
+            (not transient)
             && State_table.get ns.Machine.table line = State_table.Invalid
-            && (not (Hashtbl.mem ns.Machine.deferred_flags block))
-            && not (block_in_batch m ns block)
           then begin
             let size = Machine.block_size m block in
             let words = size / 8 in
@@ -67,20 +115,16 @@ let check_invariants (m : Machine.t) =
               then clean := false
             done;
             if not !clean then
-              bad :=
-                Printf.sprintf "block %#x: node %d invalid without flag pattern"
-                  block n
-                :: !bad
+              push block (Node n) "invalid without flag pattern"
           end)
         m.Machine.nodes;
       if !exclusive > 1 then
-        bad := Printf.sprintf "block %#x: %d exclusive nodes" block !exclusive :: !bad;
-      if !exclusive = 1 && !valid > 1 then
-        bad :=
-          Printf.sprintf "block %#x: exclusive node coexists with sharers" block
-          :: !bad;
-      if !valid = 0 then
-        bad := Printf.sprintf "block %#x: no valid copy anywhere" block :: !bad;
+        push block Machine_wide
+          (Printf.sprintf "%d exclusive nodes" !exclusive);
+      if (not transient) && !exclusive = 1 && !valid > 1 then
+        push block Machine_wide "exclusive node coexists with sharers";
+      if (not transient) && !valid = 0 then
+        push block Machine_wide "no valid copy anywhere";
       (* Private entries never exceed the node's shared entry, except
          transiently under an active batch. *)
       Array.iteri
@@ -92,20 +136,15 @@ let check_invariants (m : Machine.t) =
             && state_rank (State_table.get priv line)
                > state_rank (State_table.get ns.Machine.table line)
           then
-            bad :=
-              Printf.sprintf
-                "block %#x: proc %d private overstates node %d shared state"
-                block p node
-              :: !bad)
-        m.Machine.privates)
-  ;
+            push block (Proc p)
+              (Printf.sprintf "private overstates node %d shared state" node))
+        m.Machine.privates);
   List.rev !bad
 
+let check_invariants m = List.map describe (report m)
+
 let assert_invariants m =
-  match check_invariants m with
-  | [] -> ()
-  | violations ->
-    failwith ("Inspect.assert_invariants:\n  " ^ String.concat "\n  " violations)
+  match report m with [] -> () | vs -> raise (Violation vs)
 
 let pp_base = State_table.pp_base
 

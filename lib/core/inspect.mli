@@ -4,23 +4,50 @@
     debugging protocol issues together with the [SHASTA_TRACE_BLOCK]
     event trace. *)
 
-val check_invariants : Machine.t -> string list
-(** Machine-wide coherence invariants, checked over every allocated
-    block; returns human-readable violations (empty = healthy):
+type subject =
+  | Node of int  (** a coherence node's shared tables *)
+  | Proc of int  (** a processor's private table *)
+  | Machine_wide  (** a cross-node property *)
 
-    - at most one node holds a block [Exclusive], and then no other node
-      holds it [Shared];
+type violation = { block : int; subject : subject; what : string }
+
+exception Violation of violation list
+
+val block_transient : Machine.t -> int -> bool
+(** Whether a block has protocol activity in flight anywhere — an
+    outstanding miss, a downgrade, pending bits, a deferred flag write,
+    an active batch, or a busy/queued directory entry — and so may
+    legitimately break the settled-state invariants right now. *)
+
+val report : Machine.t -> violation list
+(** Machine-wide coherence invariants, checked over every allocated
+    block; returns structured violations (empty = healthy). Safe to call
+    mid-run — invariants that legitimately break while a block has
+    protocol activity in flight (a miss, a downgrade, pending bits, a
+    deferred flag write, an active batch, or a busy directory entry) are
+    suppressed for that block:
+
+    - at most one node holds a block [Exclusive] (never suppressed), and
+      then no other node holds it [Shared];
     - some node always holds a valid copy;
+    - a pending bit is backed by an outstanding miss entry, and a
+      pending-downgrade bit agrees with the downgrade table (never
+      suppressed — each pair is updated without an intervening
+      scheduling point);
     - no processor's private entry exceeds its node's shared entry
       (outside an active batch, which temporarily suspends this);
-    - an invalid block with no miss entry and no deferred flag write
-      carries the invalid-flag pattern in every longword;
-    - a quiescent machine has no pending/pending-downgrade bits, busy
-      directory entries, queued messages, miss entries, downgrades or
-      batch markers. *)
+    - a settled invalid block carries the invalid-flag pattern in every
+      longword. *)
+
+val describe : violation -> string
+(** One human-readable line, e.g.
+    ["block 0x1f40: node 2 pending with no outstanding miss"]. *)
+
+val check_invariants : Machine.t -> string list
+(** [List.map describe (report m)]. *)
 
 val assert_invariants : Machine.t -> unit
-(** Raises [Failure] with the violation list if any invariant fails. *)
+(** Raises {!Violation} with the report if any invariant fails. *)
 
 val dump : ?block:int -> Format.formatter -> Machine.t -> unit
 (** Human-readable machine state: per-processor status, outstanding miss

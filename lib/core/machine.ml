@@ -58,6 +58,7 @@ type t = {
   procs : proc_state array;
   mutable next_lock : int;
   mutable next_barrier : int;
+  mutable observer : Observer.t option;
 }
 
 let create (cfg : Config.t) =
@@ -116,7 +117,12 @@ let create (cfg : Config.t) =
     procs = Array.init cfg.Config.nprocs make_proc;
     next_lock = 0;
     next_barrier = 0;
+    observer = None;
   }
+
+let add_observer t o =
+  t.observer <-
+    Some (match t.observer with None -> o | Some prev -> Observer.seq prev o)
 
 let node_of t p = t.procs.(p).node
 

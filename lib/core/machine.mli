@@ -71,9 +71,16 @@ type t = {
   procs : proc_state array;
   mutable next_lock : int;
   mutable next_barrier : int;
+  mutable observer : Observer.t option;
+      (** analysis hooks; [None] (the default) makes every hook site a
+          no-op. Install before the parallel phase starts. *)
 }
 
 val create : Config.t -> t
+
+val add_observer : t -> Observer.t -> unit
+(** Install an observer, composing ({!Observer.seq}) with any already
+    installed one. *)
 
 val node_of : t -> int -> int
 (** Coherence node of a processor. *)

@@ -1,0 +1,108 @@
+type base = Shasta_mem.State_table.base
+
+type t = {
+  on_state : node:int -> block:int -> from_:base -> to_:base -> unit;
+  on_private : proc:int -> block:int -> from_:base -> to_:base -> unit;
+  on_pending : node:int -> block:int -> set:bool -> unit;
+  on_pending_downgrade : node:int -> block:int -> set:bool -> unit;
+  on_send : src:int -> dst:int -> now:int -> Msg.t -> unit;
+  on_recv : src:int -> dst:int -> now:int -> Msg.t -> unit;
+  on_downgrade_ack : proc:int -> block:int -> unit;
+  on_downgrade_done : proc:int -> block:int -> unit;
+  on_downgrade_queued : proc:int -> block:int -> src:int -> Msg.t -> unit;
+  on_downgrade_replay : proc:int -> block:int -> src:int -> Msg.t -> unit;
+  on_load : proc:int -> addr:int -> len:int -> now:int -> unit;
+  on_store : proc:int -> addr:int -> len:int -> now:int -> unit;
+  on_lock_acquired : proc:int -> lock:int -> now:int -> unit;
+  on_lock_released : proc:int -> lock:int -> now:int -> unit;
+  on_barrier_arrive : proc:int -> barrier:int -> epoch:int -> now:int -> unit;
+  on_barrier_leave : proc:int -> barrier:int -> epoch:int -> now:int -> unit;
+}
+
+let nil =
+  {
+    on_state = (fun ~node:_ ~block:_ ~from_:_ ~to_:_ -> ());
+    on_private = (fun ~proc:_ ~block:_ ~from_:_ ~to_:_ -> ());
+    on_pending = (fun ~node:_ ~block:_ ~set:_ -> ());
+    on_pending_downgrade = (fun ~node:_ ~block:_ ~set:_ -> ());
+    on_send = (fun ~src:_ ~dst:_ ~now:_ _ -> ());
+    on_recv = (fun ~src:_ ~dst:_ ~now:_ _ -> ());
+    on_downgrade_ack = (fun ~proc:_ ~block:_ -> ());
+    on_downgrade_done = (fun ~proc:_ ~block:_ -> ());
+    on_downgrade_queued = (fun ~proc:_ ~block:_ ~src:_ _ -> ());
+    on_downgrade_replay = (fun ~proc:_ ~block:_ ~src:_ _ -> ());
+    on_load = (fun ~proc:_ ~addr:_ ~len:_ ~now:_ -> ());
+    on_store = (fun ~proc:_ ~addr:_ ~len:_ ~now:_ -> ());
+    on_lock_acquired = (fun ~proc:_ ~lock:_ ~now:_ -> ());
+    on_lock_released = (fun ~proc:_ ~lock:_ ~now:_ -> ());
+    on_barrier_arrive = (fun ~proc:_ ~barrier:_ ~epoch:_ ~now:_ -> ());
+    on_barrier_leave = (fun ~proc:_ ~barrier:_ ~epoch:_ ~now:_ -> ());
+  }
+
+let seq a b =
+  {
+    on_state =
+      (fun ~node ~block ~from_ ~to_ ->
+        a.on_state ~node ~block ~from_ ~to_;
+        b.on_state ~node ~block ~from_ ~to_);
+    on_private =
+      (fun ~proc ~block ~from_ ~to_ ->
+        a.on_private ~proc ~block ~from_ ~to_;
+        b.on_private ~proc ~block ~from_ ~to_);
+    on_pending =
+      (fun ~node ~block ~set ->
+        a.on_pending ~node ~block ~set;
+        b.on_pending ~node ~block ~set);
+    on_pending_downgrade =
+      (fun ~node ~block ~set ->
+        a.on_pending_downgrade ~node ~block ~set;
+        b.on_pending_downgrade ~node ~block ~set);
+    on_send =
+      (fun ~src ~dst ~now m ->
+        a.on_send ~src ~dst ~now m;
+        b.on_send ~src ~dst ~now m);
+    on_recv =
+      (fun ~src ~dst ~now m ->
+        a.on_recv ~src ~dst ~now m;
+        b.on_recv ~src ~dst ~now m);
+    on_downgrade_ack =
+      (fun ~proc ~block ->
+        a.on_downgrade_ack ~proc ~block;
+        b.on_downgrade_ack ~proc ~block);
+    on_downgrade_done =
+      (fun ~proc ~block ->
+        a.on_downgrade_done ~proc ~block;
+        b.on_downgrade_done ~proc ~block);
+    on_downgrade_queued =
+      (fun ~proc ~block ~src m ->
+        a.on_downgrade_queued ~proc ~block ~src m;
+        b.on_downgrade_queued ~proc ~block ~src m);
+    on_downgrade_replay =
+      (fun ~proc ~block ~src m ->
+        a.on_downgrade_replay ~proc ~block ~src m;
+        b.on_downgrade_replay ~proc ~block ~src m);
+    on_load =
+      (fun ~proc ~addr ~len ~now ->
+        a.on_load ~proc ~addr ~len ~now;
+        b.on_load ~proc ~addr ~len ~now);
+    on_store =
+      (fun ~proc ~addr ~len ~now ->
+        a.on_store ~proc ~addr ~len ~now;
+        b.on_store ~proc ~addr ~len ~now);
+    on_lock_acquired =
+      (fun ~proc ~lock ~now ->
+        a.on_lock_acquired ~proc ~lock ~now;
+        b.on_lock_acquired ~proc ~lock ~now);
+    on_lock_released =
+      (fun ~proc ~lock ~now ->
+        a.on_lock_released ~proc ~lock ~now;
+        b.on_lock_released ~proc ~lock ~now);
+    on_barrier_arrive =
+      (fun ~proc ~barrier ~epoch ~now ->
+        a.on_barrier_arrive ~proc ~barrier ~epoch ~now;
+        b.on_barrier_arrive ~proc ~barrier ~epoch ~now);
+    on_barrier_leave =
+      (fun ~proc ~barrier ~epoch ~now ->
+        a.on_barrier_leave ~proc ~barrier ~epoch ~now;
+        b.on_barrier_leave ~proc ~barrier ~epoch ~now);
+  }

@@ -1,0 +1,64 @@
+(** Protocol event observer: the hook surface of the analysis layer.
+
+    An observer is a record of callbacks installed on a {!Machine.t}
+    (see [Machine.observer]) before the parallel phase starts. The
+    protocol and the Dsm access layer invoke each callback at the
+    corresponding event; when no observer is installed every hook site
+    compiles to a single [match] on [None], so an uninstrumented run
+    stays within measurement noise of the unhooked code and its
+    simulated cycle counts are bit-identical (hooks never charge
+    cycles).
+
+    Events fire {e after} the mutation they describe has been applied
+    (a state hook observes the new table contents), except
+    [on_send]/[on_recv] which bracket a message's network transit, and
+    [on_barrier_arrive], which fires when the processor commits to the
+    barrier episode [epoch] (before it stalls). *)
+
+type base = Shasta_mem.State_table.base
+
+type t = {
+  on_state : node:int -> block:int -> from_:base -> to_:base -> unit;
+      (** a node's shared state table changed for a whole block *)
+  on_private : proc:int -> block:int -> from_:base -> to_:base -> unit;
+      (** a processor's private state table changed for a whole block
+          (SMP-Shasta; fires only on an actual change) *)
+  on_pending : node:int -> block:int -> set:bool -> unit;
+      (** the pending (miss outstanding) marker toggled *)
+  on_pending_downgrade : node:int -> block:int -> set:bool -> unit;
+      (** the pending-downgrade marker toggled *)
+  on_send : src:int -> dst:int -> now:int -> Msg.t -> unit;
+      (** a message entered the network ([src <> dst]; inline
+          same-processor delivery generates no send/recv pair) *)
+  on_recv : src:int -> dst:int -> now:int -> Msg.t -> unit;
+      (** a message was polled off the network by [dst], about to be
+          handled; replays of messages queued on a miss entry, a busy
+          directory entry or a downgrade entry do not re-fire this *)
+  on_downgrade_ack : proc:int -> block:int -> unit;
+      (** a sibling handled a downgrade message (its private entry is
+          already lowered) *)
+  on_downgrade_done : proc:int -> block:int -> unit;
+      (** the deferred protocol action of a node downgrade is about to
+          run on [proc] (the processor that handled the last downgrade
+          message, or the initiator when no sibling needed one) *)
+  on_downgrade_queued : proc:int -> block:int -> src:int -> Msg.t -> unit;
+      (** a message arriving during a pending downgrade was queued on
+          the entry *)
+  on_downgrade_replay : proc:int -> block:int -> src:int -> Msg.t -> unit;
+      (** a queued message is being replayed after the downgrade
+          completed (fires in replay order) *)
+  on_load : proc:int -> addr:int -> len:int -> now:int -> unit;
+      (** an application load retired (after any miss handling) *)
+  on_store : proc:int -> addr:int -> len:int -> now:int -> unit;
+      (** an application store was issued through the protocol *)
+  on_lock_acquired : proc:int -> lock:int -> now:int -> unit;
+  on_lock_released : proc:int -> lock:int -> now:int -> unit;
+  on_barrier_arrive : proc:int -> barrier:int -> epoch:int -> now:int -> unit;
+  on_barrier_leave : proc:int -> barrier:int -> epoch:int -> now:int -> unit;
+}
+
+val nil : t
+(** Every callback is a no-op; build observers with [{ nil with ... }]. *)
+
+val seq : t -> t -> t
+(** [seq a b] runs [a]'s callback then [b]'s at every event. *)

@@ -47,6 +47,116 @@ let check_table ctx =
   else (node_state ctx).Machine.table
 
 (* ------------------------------------------------------------------ *)
+(* Diagnosable protocol failures.                                      *)
+
+exception
+  Protocol_violation of {
+    pid : int;
+    block : int;
+    state : State_table.base;
+    detail : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_violation { pid; block; state; detail } ->
+      Some
+        (Printf.sprintf
+           "Protocol_violation (proc %d, block %#x, node state %s): %s" pid
+           block
+           (match state with
+           | State_table.Invalid -> "Invalid"
+           | State_table.Shared -> "Shared"
+           | State_table.Exclusive -> "Exclusive")
+           detail)
+    | _ -> None)
+
+(* An impossible protocol configuration was reached while dispatching a
+   message: raise with enough context to diagnose without a debugger. *)
+let violation ctx ~block detail =
+  let line = Layout.line_of ctx.m.Machine.layout block in
+  let state = State_table.get (node_state ctx).Machine.table line in
+  raise (Protocol_violation { pid = pid ctx; block; state; detail })
+
+(* ------------------------------------------------------------------ *)
+(* Observer hooks. Each site is a single match on the option: with no
+   observer installed the hook costs one load and one branch, so the
+   instrumented build stays within noise of the unhooked code, and no
+   hook ever charges cycles — simulated time is bit-identical whether
+   or not an observer is watching. *)
+
+let fault_is ctx f = ctx.m.Machine.cfg.Config.fault = Some f
+
+let obs_state ctx ~block ~from_ ~to_ =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_state ~node:(node ctx) ~block ~from_ ~to_
+
+let obs_private ctx ~proc ~block ~from_ ~to_ =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_private ~proc ~block ~from_ ~to_
+
+let obs_pending ctx ~block ~set =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_pending ~node:(node ctx) ~block ~set
+
+let obs_pending_downgrade ctx ~block ~set =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_pending_downgrade ~node:(node ctx) ~block ~set
+
+let obs_downgrade_ack ctx ~block =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_downgrade_ack ~proc:(pid ctx) ~block
+
+let obs_downgrade_done ctx ~block =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_downgrade_done ~proc:(pid ctx) ~block
+
+let obs_downgrade_queued ctx ~block ~src msg =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_downgrade_queued ~proc:(pid ctx) ~block ~src msg
+
+let obs_downgrade_replay ctx ~block ~src msg =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_downgrade_replay ~proc:(pid ctx) ~block ~src msg
+
+let obs_recv ctx ~src ~now msg =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_recv ~src ~dst:(pid ctx) ~now msg
+
+let obs_lock_acquired ctx ~lock =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_lock_acquired ~proc:(pid ctx) ~lock ~now:(Engine.now ctx.eng)
+
+let obs_lock_released ctx ~lock =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_lock_released ~proc:(pid ctx) ~lock ~now:(Engine.now ctx.eng)
+
+let obs_barrier_arrive ctx ~barrier ~epoch =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o ->
+    o.Observer.on_barrier_arrive ~proc:(pid ctx) ~barrier ~epoch
+      ~now:(Engine.now ctx.eng)
+
+let obs_barrier_leave ctx ~barrier ~epoch =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o ->
+    o.Observer.on_barrier_leave ~proc:(pid ctx) ~barrier ~epoch
+      ~now:(Engine.now ctx.eng)
+
+(* ------------------------------------------------------------------ *)
 (* Cycle accounting.                                                   *)
 
 let charge ctx c =
@@ -77,41 +187,53 @@ let state_rank = function
   | State_table.Shared -> 1
   | State_table.Exclusive -> 2
 
+(* The [table] argument is always the node's shared table of [ctx]'s
+   own node, so the observer hook can attribute the transition. *)
 let set_block_state ctx table block st =
   let first, n = lines_of_block ctx block in
+  let old = State_table.get table first in
   for l = first to first + n - 1 do
     State_table.set table l st
-  done
+  done;
+  if st <> old then obs_state ctx ~block ~from_:old ~to_:st
 
 let set_block_pending ctx table block v =
   let first, n = lines_of_block ctx block in
   for l = first to first + n - 1 do
     State_table.set_pending table l v
-  done
+  done;
+  obs_pending ctx ~block ~set:v
 
 let set_block_pending_downgrade ctx table block v =
   let first, n = lines_of_block ctx block in
   for l = first to first + n - 1 do
     State_table.set_pending_downgrade table l v
-  done
+  done;
+  obs_pending_downgrade ctx ~block ~set:v
 
 (* Raise a private state table to [st] (never downgrade). *)
 let raise_private ctx p block st =
   let table = ctx.m.Machine.privates.(p) in
   let first, n = lines_of_block ctx block in
+  let old = State_table.get table first in
   for l = first to first + n - 1 do
     if state_rank (State_table.get table l) < state_rank st then
       State_table.set table l st
-  done
+  done;
+  if state_rank old < state_rank st then
+    obs_private ctx ~proc:p ~block ~from_:old ~to_:st
 
 (* Lower a private state table to [st] (never upgrade). *)
 let lower_private ctx p block st =
   let table = ctx.m.Machine.privates.(p) in
   let first, n = lines_of_block ctx block in
+  let old = State_table.get table first in
   for l = first to first + n - 1 do
     if state_rank (State_table.get table l) > state_rank st then
       State_table.set table l st
-  done
+  done;
+  if state_rank old > state_rank st then
+    obs_private ctx ~proc:p ~block ~from_:old ~to_:st
 
 let private_state ctx p block =
   let table = ctx.m.Machine.privates.(p) in
@@ -156,7 +278,11 @@ let write_flag_now ctx block =
 
 let rec stamp_invalid ctx block =
   let ns = node_state ctx in
-  if block_in_active_batch ctx block then begin
+  if fault_is ctx Config.Skip_flag_stamp then
+    (* Test-only fault: leave stale application data behind where the
+       invalid-flag pattern belongs. *)
+    ()
+  else if block_in_active_batch ctx block then begin
     trace_stamp ctx block true;
     Hashtbl.replace ns.Machine.deferred_flags block ()
   end
@@ -202,8 +328,12 @@ let rec deliver ctx dst msg =
   else begin
     if not (Shasta_net.Topology.same_node ctx.m.Machine.topo (pid ctx) dst) then
       charge ctx ctx.t.Timing.remote_send;
-    Network.send ctx.m.Machine.net ~src:(pid ctx) ~dst ~now:(Engine.now ctx.eng)
-      ~size:(Msg.size_bytes msg) msg
+    let now = Engine.now ctx.eng in
+    Network.send ctx.m.Machine.net ~src:(pid ctx) ~dst ~now
+      ~size:(Msg.size_bytes msg) msg;
+    match ctx.m.Machine.observer with
+    | None -> ()
+    | Some o -> o.Observer.on_send ~src:(pid ctx) ~dst ~now msg
   end
 
 and handle_message ctx ~src msg =
@@ -304,7 +434,8 @@ and handle_read_request ctx ~src ~block e =
       e.Directory.busy <- true;
       start_node_downgrade ctx ~block ~target:State_table.Shared
         ~deferred:(Downgrade.Reply_read { requester = src })
-    | State_table.Invalid -> assert false
+    | State_table.Invalid ->
+      violation ctx ~block "read request: home node valid yet state Invalid"
   end
   else begin
     e.Directory.busy <- true;
@@ -387,7 +518,9 @@ and drain_dir_queue ctx block =
             handle_upgrade_request ctx ~src ~block e
           else handle_readex_request ctx ~src ~block e);
         loop ()
-      | Some _ -> assert false
+      | Some (_, m) ->
+        violation ctx ~block
+          ("directory queue held a non-request message: " ^ Msg.describe m)
       | None -> ()
   in
   loop ()
@@ -422,7 +555,9 @@ and handle_fwd ctx ~src ~kind ~block ~requester ~inval_acks msg =
   let ns = node_state ctx in
   let line = Layout.line_of ctx.m.Machine.layout block in
   match Downgrade.find ns.Machine.downgrades ~block with
-  | Some dg -> Downgrade.push_queued dg ~src msg
+  | Some dg ->
+    Downgrade.push_queued dg ~src msg;
+    obs_downgrade_queued ctx ~block ~src msg
   | None -> (
     match Miss_table.find ns.Machine.misses ~block with
     | Some e
@@ -445,17 +580,23 @@ and handle_fwd ctx ~src ~kind ~block ~requester ~inval_acks msg =
         | State_table.Shared ->
           execute_deferred ctx ~block ~target:State_table.Shared
             ~deferred:(Downgrade.Reply_read { requester })
-        | State_table.Invalid -> assert false)
+        | State_table.Invalid ->
+          violation ctx ~block "read forwarded to an owner with no copy")
       | Msg.Readex ->
-        assert (base <> State_table.Invalid);
+        if base = State_table.Invalid then
+          violation ctx ~block "readex forwarded to an owner with no copy";
         start_node_downgrade ctx ~block ~target:State_table.Invalid
           ~deferred:(Downgrade.Reply_readex { requester; inval_acks })
-      | Msg.Upgrade -> assert false))
+      | Msg.Upgrade ->
+        violation ctx ~block
+          "upgrade forwarded to an owner (upgrades are home-served)"))
 
 and handle_invalidate ctx ~src ~block ~requester msg =
   let ns = node_state ctx in
   match Downgrade.find ns.Machine.downgrades ~block with
-  | Some dg -> Downgrade.push_queued dg ~src msg
+  | Some dg ->
+    Downgrade.push_queued dg ~src msg;
+    obs_downgrade_queued ctx ~block ~src msg
   | None -> (
     match Miss_table.find ns.Machine.misses ~block with
     | Some e when not e.Miss_table.data_ready ->
@@ -479,10 +620,14 @@ and handle_invalidate ctx ~src ~block ~requester msg =
         if State_table.get ns.Machine.table line <> State_table.Invalid then begin
           ns.Machine.downgrade_epoch <- ns.Machine.downgrade_epoch + 1;
           stamp_invalid ctx block;
-          set_block_state ctx ns.Machine.table block State_table.Invalid;
+          (* Privates drop before the node entry so that no observer
+             (and no sibling in real memory order) ever sees a private
+             entry exceeding the node's; there is no scheduling point in
+             between, so the order is otherwise invisible. *)
           List.iter
             (fun q -> lower_private ctx q block State_table.Invalid)
-            (Config.procs_of_node ctx.m.Machine.cfg (node ctx))
+            (Config.procs_of_node ctx.m.Machine.cfg (node ctx));
+          set_block_state ctx ns.Machine.table block State_table.Invalid
         end
       end;
       deliver ctx requester (Msg.Inval_ack { block })
@@ -535,10 +680,13 @@ and start_node_downgrade ctx ~block ~target ~deferred =
 
 and handle_downgrade_msg ctx ~block ~target =
   charge ctx ctx.t.Timing.handler_downgrade;
-  lower_private ctx (pid ctx) block target;
+  if not (fault_is ctx Config.Skip_private_downgrade) then
+    lower_private ctx (pid ctx) block target;
+  obs_downgrade_ack ctx ~block;
   let ns = node_state ctx in
   match Downgrade.find ns.Machine.downgrades ~block with
-  | None -> assert false
+  | None ->
+    violation ctx ~block "downgrade message with no downgrade in progress"
   | Some dg ->
     dg.Downgrade.remaining <- dg.Downgrade.remaining - 1;
     if dg.Downgrade.remaining = 0 then begin
@@ -547,7 +695,9 @@ and handle_downgrade_msg ctx ~block ~target =
       execute_deferred ctx ~block ~target:dg.Downgrade.target
         ~deferred:dg.Downgrade.deferred;
       List.iter
-        (fun (src, msg) -> handle_message ctx ~src msg)
+        (fun (src, msg) ->
+          obs_downgrade_replay ctx ~block ~src msg;
+          handle_message ctx ~src msg)
         (Downgrade.take_queued dg)
     end
 
@@ -562,8 +712,10 @@ and execute_deferred ctx ~block ~target ~deferred =
          Printf.sprintf "reply_readex->%d" requester
        | Downgrade.Inval_done { requester } -> Printf.sprintf "inval_done->%d" requester));
   let home = Machine.home_of_block ctx.m block in
+  obs_downgrade_done ctx ~block;
   (match Downgrade.find ns.Machine.downgrades ~block with
-  | Some _ -> assert false
+  | Some _ ->
+    violation ctx ~block "deferred action ran with a downgrade still pending"
   | None -> ());
   (* The snapshot is taken and this node's state fully downgraded
      BEFORE any message is sent: a reply to a requester on this very
@@ -623,7 +775,7 @@ and handle_data_reply ctx ~kind ~block ~data ~from_home ~inval_acks =
   charge ctx ctx.t.Timing.handler_data_apply;
   let ns = node_state ctx in
   match Miss_table.find ns.Machine.misses ~block with
-  | None -> assert false
+  | None -> violation ctx ~block "data reply with no outstanding miss"
   | Some e ->
     assert (not e.Miss_table.data_ready);
     (* A refetch supersedes any flag write deferred by an active batch. *)
@@ -667,8 +819,8 @@ and handle_data_reply ctx ~kind ~block ~data ~from_home ~inval_acks =
          the block is already gone again. *)
       e.Miss_table.inval_after_reply <- false;
       stamp_invalid ctx block;
-      set_block_state ctx ns.Machine.table block State_table.Invalid;
-      lower_private ctx (pid ctx) block State_table.Invalid
+      lower_private ctx (pid ctx) block State_table.Invalid;
+      set_block_state ctx ns.Machine.table block State_table.Invalid
     end;
     if e.Miss_table.upgrade_after_reply && e.Miss_table.kind = Msg.Read then begin
       (* A store merged into this read entry while it was pending: chain
@@ -695,7 +847,7 @@ and handle_upgrade_reply ctx ~block ~inval_acks =
   charge ctx ctx.t.Timing.handler_data_apply;
   let ns = node_state ctx in
   match Miss_table.find ns.Machine.misses ~block with
-  | None -> assert false
+  | None -> violation ctx ~block "upgrade reply with no outstanding miss"
   | Some e ->
     assert (not e.Miss_table.data_ready);
     set_block_state ctx ns.Machine.table block State_table.Exclusive;
@@ -710,7 +862,7 @@ and handle_upgrade_reply ctx ~block ~inval_acks =
 and handle_inval_ack ctx ~block =
   let ns = node_state ctx in
   match Miss_table.find ns.Machine.misses ~block with
-  | None -> assert false
+  | None -> violation ctx ~block "invalidation ack with no outstanding miss"
   | Some e ->
     e.Miss_table.acks_received <- e.Miss_table.acks_received + 1;
     complete_if_ready ctx e
@@ -776,10 +928,10 @@ let poll_handle ctx =
        message advances the clock, so re-check before every probe. Below
        the horizon the yield is elided and this costs one comparison. *)
     Engine.yield ctx.eng;
-    match
-      Network.poll ctx.m.Machine.net ~dst:(pid ctx) ~now:(Engine.now ctx.eng)
-    with
+    let now = Engine.now ctx.eng in
+    match Network.poll ctx.m.Machine.net ~dst:(pid ctx) ~now with
     | Some (src, msg) ->
+      obs_recv ctx ~src ~now msg;
       handle_message ctx ~src msg;
       loop ()
     | None -> ()
@@ -1294,10 +1446,12 @@ let lock_acquire ctx lock =
   with_category ctx Stats.Sync (fun () ->
       deliver ctx (Machine.lock_home ctx.m lock) (Msg.Lock_req { lock }));
   stall ctx Stats.Sync (fun () -> Hashtbl.mem ctx.ps.Machine.granted lock);
-  Hashtbl.remove ctx.ps.Machine.granted lock
+  Hashtbl.remove ctx.ps.Machine.granted lock;
+  obs_lock_acquired ctx ~lock
 
 let lock_release ctx lock =
   release_stores ctx;
+  obs_lock_released ctx ~lock;
   with_category ctx Stats.Sync (fun () ->
       deliver ctx (Machine.lock_home ctx.m lock) (Msg.Lock_release { lock }))
 
@@ -1310,6 +1464,15 @@ let local_barrier ctx barrier =
     Hashtbl.replace ctx.m.Machine.barrier_local key bs;
     bs
 
+(* SHASTA_SANITIZE >= 1: sweep the whole-machine invariants every time a
+   processor leaves a barrier. The sweep charges no cycles and runs only
+   between scheduling points, so simulated time is unchanged. *)
+let barrier_sanitize ctx =
+  if ctx.m.Machine.cfg.Config.sanitize > 0 then
+    match Inspect.report ctx.m with
+    | [] -> ()
+    | vs -> raise (Inspect.Violation vs)
+
 let barrier_wait ctx barrier =
   release_stores ctx;
   let hierarchical =
@@ -1321,6 +1484,7 @@ let barrier_wait ctx barrier =
        is broadcast once per node and fanned out through shared memory. *)
     let bs = local_barrier ctx barrier in
     let before = bs.Machine.generation in
+    obs_barrier_arrive ctx ~barrier ~epoch:(before + 1);
     charge ctx (ctx.t.Timing.memory_barrier + ctx.t.Timing.sync_manager);
     bs.Machine.arrived <- bs.Machine.arrived + 1;
     if bs.Machine.arrived = List.length (Config.procs_of_node ctx.m.Machine.cfg (node ctx))
@@ -1331,17 +1495,22 @@ let barrier_wait ctx barrier =
             (Msg.Barrier_arrive { barrier }))
     end;
     stall ctx Stats.Sync (fun () -> bs.Machine.generation > before);
-    acquire_fence ctx
+    obs_barrier_leave ctx ~barrier ~epoch:(before + 1);
+    acquire_fence ctx;
+    barrier_sanitize ctx
   end
   else begin
     let seen () =
       Option.value ~default:0 (Hashtbl.find_opt ctx.ps.Machine.barrier_seen barrier)
     in
     let before = seen () in
+    obs_barrier_arrive ctx ~barrier ~epoch:(before + 1);
     with_category ctx Stats.Sync (fun () ->
         deliver ctx (Machine.barrier_home ctx.m barrier) (Msg.Barrier_arrive { barrier }));
     stall ctx Stats.Sync (fun () -> seen () > before);
-    acquire_fence ctx
+    obs_barrier_leave ctx ~barrier ~epoch:(before + 1);
+    acquire_fence ctx;
+    barrier_sanitize ctx
   end
 
 (* ---------------- Post-run drain ---------------- *)

@@ -12,6 +12,20 @@
     between an inline check and its corresponding load or store, which is
     the invariant that makes the downgrade protocol race-free (§3.3). *)
 
+exception
+  Protocol_violation of {
+    pid : int;  (** processor dispatching when the violation was found *)
+    block : int;
+    state : Shasta_mem.State_table.base;  (** its node's state for [block] *)
+    detail : string;
+  }
+(** An impossible protocol configuration was reached while dispatching a
+    message — e.g. a data reply with no outstanding miss, a downgrade
+    message with no downgrade in progress, or a request forwarded to an
+    owner with no copy. Replaces what would otherwise be a blind
+    assertion failure; carries enough context to diagnose the state
+    machine without a debugger. *)
+
 type ctx
 (** Per-processor protocol context, valid for the duration of a run. *)
 
@@ -92,7 +106,10 @@ val lock_release : ctx -> int -> unit
     outstanding stores, then releases the lock. *)
 
 val barrier_wait : ctx -> int -> unit
-(** Release + arrive + wait for the barrier generation to advance. *)
+(** Release + arrive + wait for the barrier generation to advance. When
+    [cfg.sanitize > 0] the leaving processor additionally sweeps the
+    whole machine with {!Inspect.report}, raising {!Inspect.Violation}
+    on any failure; the sweep charges no cycles. *)
 
 val drain : ctx -> unit
 (** Post-application service loop: poll until the whole machine is

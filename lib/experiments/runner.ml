@@ -93,8 +93,37 @@ let execute spec =
       ~smp_sync:spec.smp_sync ~share_directory:spec.share_directory ()
   in
   let h = Dsm.create cfg in
+  (* SHASTA_SANITIZE=1 attaches the online invariant sanitizer (and =2
+     additionally the happens-before race detector) to every experiment
+     run; Config.create reads the variable when [?sanitize] is omitted.
+     A violation or race fails the run like a verification failure. *)
+  let san =
+    if cfg.Config.sanitize > 0 then Some (Shasta_check.Sanitizer.attach (Dsm.machine h))
+    else None
+  in
+  let rd =
+    if cfg.Config.sanitize > 1 then Some (Shasta_check.Races.attach (Dsm.machine h))
+    else None
+  in
   let body, verify = inst.App.setup h in
   Dsm.run h body;
+  (match san with
+  | Some san when Shasta_check.Sanitizer.violation_count san > 0 ->
+    failwith
+      (Printf.sprintf "experiment run violated protocol invariants: %s (%s)"
+         spec.app
+         (String.concat "; "
+            (List.map Shasta_core.Inspect.describe
+               (Shasta_check.Sanitizer.violations san))))
+  | _ -> ());
+  (match rd with
+  | Some rd when Shasta_check.Races.race_count rd > 0 ->
+    failwith
+      (Printf.sprintf "experiment run raced: %s (%s)" spec.app
+         (String.concat "; "
+            (List.map Shasta_check.Races.describe
+               (Shasta_check.Races.races rd))))
+  | _ -> ());
   let verdict = verify h in
   if not verdict.App.ok then
     failwith

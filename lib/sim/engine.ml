@@ -289,3 +289,57 @@ let run ~nprocs ?(max_cycles = 2_000_000_000) ?(run_ahead = true)
     yields_performed = counters.performed;
     yields_elided = counters.elided;
   }
+
+(* Externally-scheduled variant for the litmus model checker: run-ahead
+   is disabled (horizons pinned at [min_int], so every scheduling point
+   performs and idle waits advance one quantum at a time), and instead
+   of popping the (clock, pid) minimum the caller's [choose] picks any
+   runnable processor. Index 0 of the candidate array is the (clock,
+   pid) minimum, so [choose = fun _ -> cands.(0)] reproduces the
+   [run_ahead:false] schedule exactly; any other choice models a valid
+   timing (slower processors, longer latencies) because per-pair message
+   FIFO order is preserved by the network layer regardless of schedule. *)
+let run_controlled ~nprocs ?(max_cycles = 2_000_000_000) ~choose body =
+  assert (nprocs > 0);
+  let counters = { performed = 0; elided = 0 } in
+  let tasks =
+    Array.init nprocs (fun i ->
+        {
+          p_id = i;
+          p_nprocs = nprocs;
+          p_now = 0;
+          p_status = Fresh;
+          p_horizon = min_int;
+          p_visible = min_int;
+          p_max_cycles = max_cycles;
+          p_counters = counters;
+        })
+  in
+  let running = ref true in
+  while !running do
+    let live = ref [] in
+    for i = nprocs - 1 downto 0 do
+      if tasks.(i).p_status <> Finished then live := i :: !live
+    done;
+    match !live with
+    | [] -> running := false
+    | l ->
+      let cands = Array.of_list l in
+      Array.sort
+        (fun a b ->
+          let ca = tasks.(a).p_now and cb = tasks.(b).p_now in
+          if ca <> cb then compare ca cb else compare a b)
+        cands;
+      let pick = choose cands in
+      if
+        pick < 0 || pick >= nprocs || tasks.(pick).p_status = Finished
+      then invalid_arg "Engine.run_controlled: choose picked a non-runnable pid";
+      step body tasks.(pick)
+  done;
+  ignore (Atomic.fetch_and_add total_performed counters.performed);
+  ignore (Atomic.fetch_and_add total_elided counters.elided);
+  {
+    finish = Array.map (fun p -> p.p_now) tasks;
+    yields_performed = counters.performed;
+    yields_elided = counters.elided;
+  }

@@ -79,6 +79,20 @@ val run :
     entry is always safe; over-estimating one can reorder visible
     events. *)
 
+val run_controlled :
+  nprocs:int -> ?max_cycles:int -> choose:(int array -> int) -> (proc -> unit) -> outcome
+(** [run ~run_ahead:false] under an external scheduler, for the litmus
+    model checker. At every real scheduling decision the runnable
+    processors are collected into an array sorted by (clock, pid) and
+    passed to [choose], which must return one of them; that processor is
+    resumed. [choose = fun cands -> cands.(0)] reproduces the default
+    schedule exactly. Any other choice still models a valid execution —
+    a timing in which the chosen processor's pending work simply
+    completes earlier — because message FIFO order between each
+    processor pair is independent of the schedule and the protocol makes
+    no real-time assumptions. Raises [Invalid_argument] if [choose]
+    returns a pid that is not runnable. *)
+
 val pid : proc -> int
 (** Identifier in \[0, nprocs). *)
 
