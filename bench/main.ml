@@ -56,6 +56,16 @@ let targets : target list =
 let write_json ~name ~wall ~cycles ~jobs ~performed ~elided ~cached_runs =
   let file = Printf.sprintf "BENCH_%s.json" name in
   let oc = open_out file in
+  (* With SHASTA_TRACE=1 the runner aggregates protocol metrics over
+     every traced run; record the cumulative aggregate alongside the
+     counters (order-independent, so identical for any --jobs). *)
+  let metrics =
+    if E.Runner.traced_runs () > 0 then
+      Printf.sprintf ",\n  \"traced_runs\": %d,\n  \"metrics\": %s"
+        (E.Runner.traced_runs ())
+        (Shasta_trace.Metrics.to_json (E.Runner.metrics_snapshot ()))
+    else ""
+  in
   Printf.fprintf oc
     "{\n\
     \  \"target\": %S,\n\
@@ -65,9 +75,10 @@ let write_json ~name ~wall ~cycles ~jobs ~performed ~elided ~cached_runs =
     \  \"jobs\": %d,\n\
     \  \"yields_performed\": %d,\n\
     \  \"yields_elided\": %d,\n\
-    \  \"cached_runs\": %d\n\
+    \  \"cached_runs\": %d%s\n\
      }\n"
-    name wall cycles (E.Runner.seconds cycles) jobs performed elided cached_runs;
+    name wall cycles (E.Runner.seconds cycles) jobs performed elided cached_runs
+    metrics;
   close_out oc;
   Printf.eprintf "[wrote %s]\n%!" file
 

@@ -214,6 +214,98 @@ let run_check litmus sanitize races budget max_runs fault app_name nprocs
         if Races.race_count rd > 0 then rc := 1)));
   !rc
 
+(* Structured event tracing: run a workload with the flight recorder
+   and metrics observers attached, then dump the (filtered) event
+   stream, export a Chrome trace_event JSON, and summarize the metric
+   distributions. Subsumes the old SHASTA_TRACE_BLOCK printf path
+   (--block gives the same per-block view, structured) and the
+   debug_hang driver (a cycle-limit hang dumps machine state plus the
+   freshest events). *)
+let run_trace app_name nprocs protocol clustering vg scale seed procs blocks
+    kinds from_ upto limit capacity chrome_file stats no_dump =
+  let module Recorder = Shasta_trace.Recorder in
+  let module Event = Shasta_trace.Event in
+  let module Metrics = Shasta_trace.Metrics in
+  let module Inspect = Shasta_core.Inspect in
+  match Registry.find app_name with
+  | exception Not_found ->
+    Printf.eprintf "unknown application %S; try: %s\n" app_name
+      (String.concat " " Registry.names);
+    1
+  | maker ->
+    let variant =
+      match protocol with
+      | "base" -> Config.Base
+      | "smp" -> Config.Smp
+      | other ->
+        Printf.eprintf "unknown protocol %S (base|smp)\n" other;
+        exit 2
+    in
+    let clustering = if variant = Config.Base then 1 else clustering in
+    let blocks =
+      List.map
+        (fun s ->
+          match int_of_string_opt s with
+          | Some b -> b
+          | None ->
+            Printf.eprintf "--block: expected an address (decimal or 0x hex), got %S\n" s;
+            exit 2)
+        blocks
+    in
+    let inst = maker ~vg ~scale () in
+    let heap = max (1 lsl 22) inst.App.heap_bytes in
+    let heap = (heap + 4095) / 4096 * 4096 in
+    let cfg =
+      Config.create ~variant ~nprocs ~clustering ~heap_bytes:heap ~seed
+        ~trace:1 ()
+    in
+    let h = Dsm.create cfg in
+    let m = Dsm.machine h in
+    let rec_ = Recorder.attach ?capacity m in
+    let mx = Metrics.attach m in
+    let body, verify = inst.App.setup h in
+    Printf.eprintf "tracing %s: %s\n%!" inst.App.name inst.App.workload;
+    let rc = ref 0 in
+    (try
+       Dsm.run h body;
+       let verdict = verify h in
+       if not verdict.App.ok then begin
+         Printf.eprintf "result FAILED: %s\n" verdict.App.detail;
+         rc := 1
+       end
+     with Shasta_sim.Engine.Cycle_limit p ->
+       Printf.printf "CYCLE LIMIT hit on proc %d - machine state:\n%!" p;
+       Inspect.dump Format.std_formatter m;
+       Format.pp_print_flush Format.std_formatter ();
+       rc := 1);
+    let filter =
+      { Event.procs; blocks; kinds; from_; upto }
+    in
+    let events = List.filter (Event.matches filter) (Recorder.events rec_) in
+    let shown =
+      match limit with
+      | Some n when n >= 0 && List.length events > n ->
+        (* Flight-recorder semantics: keep the newest [n]. *)
+        let drop = List.length events - n in
+        List.filteri (fun i _ -> i >= drop) events
+      | _ -> events
+    in
+    (match chrome_file with
+    | Some path ->
+      Shasta_trace.Chrome.write_file path
+        ~node_of:(Shasta_core.Machine.node_of m)
+        events;
+      Printf.eprintf "[wrote %s: %d events]\n%!" path (List.length events)
+    | None -> ());
+    if not no_dump then
+      List.iter (fun ev -> print_endline (Event.to_string ev)) shown;
+    Printf.eprintf
+      "[%d events recorded, %d dropped (ring capacity %d/proc), %d matched filter]\n%!"
+      (Recorder.recorded rec_) (Recorder.dropped rec_)
+      (Recorder.capacity rec_) (List.length events);
+    if stats then Format.printf "%a@?" Metrics.pp mx;
+    !rc
+
 let list_apps () =
   List.iter
     (fun (name, (maker : App.maker)) ->
@@ -348,9 +440,95 @@ let check_cmd =
       $ max_runs_arg $ fault_arg $ check_app_arg $ nprocs_arg $ protocol_arg
       $ clustering_arg $ scale_arg $ seed_arg)
 
+let trace_proc_arg =
+  Arg.(
+    value & opt_all int []
+    & info [ "proc" ] ~docv:"P"
+        ~doc:"Only events executed by processor $(docv) (repeatable).")
+
+let trace_block_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "block" ] ~docv:"ADDR"
+        ~doc:
+          "Only events touching the block at address $(docv) (decimal or 0x \
+           hex; repeatable). The structured successor of the old \
+           SHASTA_TRACE_BLOCK printf tracing.")
+
+let trace_kind_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "kind" ] ~docv:"K"
+        ~doc:
+          "Only events of class $(docv): state, private, pending, \
+           pending_downgrade, send, recv, miss_start, miss_end, \
+           downgrade_ack, downgrade_done, downgrade_queued, \
+           downgrade_replay, lock_acquired, lock_released, barrier_arrive, \
+           barrier_leave (repeatable).")
+
+let trace_from_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "from" ] ~docv:"CYCLE" ~doc:"Only events at or after $(docv).")
+
+let trace_upto_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "to" ] ~docv:"CYCLE" ~doc:"Only events at or before $(docv).")
+
+let trace_limit_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "limit" ] ~docv:"N"
+        ~doc:"Print only the newest $(docv) matching events.")
+
+let trace_capacity_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "capacity" ] ~docv:"N"
+        ~doc:
+          "Flight-recorder ring capacity per processor (rounded up to a \
+           power of two; default 65536). Oldest events are overwritten on \
+           overflow.")
+
+let trace_chrome_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:
+          "Write the matching events as Chrome trace_event JSON to $(docv) \
+           (load in chrome://tracing or Perfetto).")
+
+let trace_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the metrics summary (miss latency, downgrade round-trip, \
+           message size and per-kind counts, home occupancy).")
+
+let trace_no_dump_arg =
+  Arg.(
+    value & flag
+    & info [ "no-dump" ]
+        ~doc:"Suppress the text event dump (useful with $(b,--chrome)).")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload with the structured flight recorder attached and \
+          dump/export its protocol event stream")
+    Term.(
+      const run_trace $ app_arg $ nprocs_arg $ protocol_arg $ clustering_arg
+      $ vg_arg $ scale_arg $ seed_arg $ trace_proc_arg $ trace_block_arg
+      $ trace_kind_arg $ trace_from_arg $ trace_upto_arg $ trace_limit_arg
+      $ trace_capacity_arg $ trace_chrome_arg $ trace_stats_arg
+      $ trace_no_dump_arg)
+
 let () =
   let doc = "Shasta fine-grain software DSM simulator (HPCA'98 reproduction)" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "shasta" ~doc)
-          [ run_cmd; report_cmd; check_cmd; list_cmd ]))
+          [ run_cmd; report_cmd; check_cmd; trace_cmd; list_cmd ]))

@@ -228,8 +228,10 @@ let attach m =
       Observer.nil with
       Observer.on_send = (fun ~src ~dst ~now msg -> on_send t ~src ~dst ~now msg);
       on_recv = (fun ~src ~dst ~now msg -> on_recv t ~src ~dst ~now msg);
-      on_downgrade_ack = (fun ~proc ~block -> on_downgrade_ack t ~proc ~block);
-      on_downgrade_done = (fun ~proc ~block -> on_downgrade_done t ~proc ~block);
+      on_downgrade_ack =
+        (fun ~proc ~block ~now:_ -> on_downgrade_ack t ~proc ~block);
+      on_downgrade_done =
+        (fun ~proc ~block ~now:_ -> on_downgrade_done t ~proc ~block);
       on_lock_acquired =
         (fun ~proc ~lock ~now -> on_lock_acquired t ~proc ~lock ~now);
       on_lock_released =

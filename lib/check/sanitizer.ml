@@ -141,13 +141,17 @@ let attach ?(limit = 100) m =
     {
       Observer.nil with
       Observer.on_state =
-        (fun ~node ~block ~from_ ~to_ -> check_state t ~node ~block ~from_ ~to_);
+        (fun ~by:_ ~node ~block ~from_ ~to_ ~now:_ ->
+          check_state t ~node ~block ~from_ ~to_);
       on_private =
-        (fun ~proc ~block ~from_ ~to_ ->
+        (fun ~by:_ ~proc ~block ~from_ ~to_ ~now:_ ->
           check_private t ~proc ~block ~from_ ~to_);
-      on_pending = (fun ~node ~block ~set -> check_pending t ~node ~block ~set);
+      on_pending =
+        (fun ~by:_ ~node ~block ~set ~now:_ ->
+          check_pending t ~node ~block ~set);
       on_pending_downgrade =
-        (fun ~node ~block ~set -> check_pending_downgrade t ~node ~block ~set);
+        (fun ~by:_ ~node ~block ~set ~now:_ ->
+          check_pending_downgrade t ~node ~block ~set);
     };
   t
 

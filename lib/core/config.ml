@@ -10,6 +10,12 @@ let env_sanitize () =
   | Some "1" -> 1
   | Some s -> ( match int_of_string_opt s with Some n when n > 1 -> 2 | _ -> 1)
 
+(* SHASTA_TRACE follows the same once-per-[create] discipline. *)
+let env_trace () =
+  match Sys.getenv_opt "SHASTA_TRACE" with
+  | None | Some "" | Some "0" -> 0
+  | Some _ -> 1
+
 type t = {
   variant : variant;
   nprocs : int;
@@ -25,6 +31,7 @@ type t = {
   smp_sync : bool;
   share_directory : bool;
   sanitize : int;
+  trace : int;
   fault : fault option;
 }
 
@@ -33,10 +40,11 @@ let create ?(variant = Base) ?(nprocs = 1) ?(procs_per_node = 4)
     ?(checks_enabled = true) ?(timing = Timing.default)
     ?(link = Shasta_net.Link.default) ?(max_cycles = 2_000_000_000)
     ?(seed = 42) ?(smp_sync = false) ?(share_directory = false)
-    ?sanitize ?fault () =
+    ?sanitize ?trace ?fault () =
   let sanitize =
     match sanitize with Some s -> max 0 s | None -> env_sanitize ()
   in
+  let trace = match trace with Some v -> max 0 v | None -> env_trace () in
   if nprocs <= 0 then invalid_arg "Config.create: nprocs";
   if procs_per_node <= 0 then invalid_arg "Config.create: procs_per_node";
   if clustering <= 0 then invalid_arg "Config.create: clustering";
@@ -62,6 +70,7 @@ let create ?(variant = Base) ?(nprocs = 1) ?(procs_per_node = 4)
     smp_sync;
     share_directory;
     sanitize;
+    trace;
     fault;
   }
 

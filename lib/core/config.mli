@@ -43,6 +43,12 @@ type t = private {
           enables the happens-before race detector where the harness
           supports it. Defaults to the [SHASTA_SANITIZE] environment
           variable. *)
+  trace : int;
+      (** event tracing/metrics level: 0 off; >= 1 asks harnesses (the
+          experiment runner, bench) to attach the {!Shasta_trace}
+          metrics observer. Like hooks in general it never charges
+          simulated cycles. Defaults to the [SHASTA_TRACE] environment
+          variable. *)
   fault : fault option;  (** test-only protocol fault injection *)
 }
 
@@ -61,6 +67,7 @@ val create :
   ?smp_sync:bool ->
   ?share_directory:bool ->
   ?sanitize:int ->
+  ?trace:int ->
   ?fault:fault ->
   unit ->
   t

@@ -1,8 +1,8 @@
 (** Machine introspection: state dumps and invariant checking.
 
     Used by the test suite after every randomized run, and available for
-    debugging protocol issues together with the [SHASTA_TRACE_BLOCK]
-    event trace. *)
+    debugging protocol issues together with the structured event trace
+    ([shasta_cli trace], {!Shasta_trace}). *)
 
 type subject =
   | Node of int  (** a coherence node's shared tables *)

@@ -31,6 +31,63 @@ let size_bytes = function
   | Lock_release _ | Barrier_arrive _ | Barrier_release _ ->
     header
 
+let block_of = function
+  | Req { block; _ }
+  | Fwd { block; _ }
+  | Data_reply { block; _ }
+  | Upgrade_reply { block; _ }
+  | Invalidate { block; _ }
+  | Inval_ack { block; _ }
+  | Sharing_wb { block; _ }
+  | Own_ack { block; _ }
+  | Downgrade { block; _ } ->
+    Some block
+  | Lock_req _ | Lock_grant _ | Lock_release _ | Barrier_arrive _
+  | Barrier_release _ ->
+    None
+
+let tag = function
+  | Req { kind = Read; _ } -> 0
+  | Req { kind = Readex; _ } -> 1
+  | Req { kind = Upgrade; _ } -> 2
+  | Fwd { kind = Read; _ } -> 3
+  | Fwd { kind = Readex; _ } -> 4
+  | Fwd { kind = Upgrade; _ } -> 5
+  | Data_reply _ -> 6
+  | Upgrade_reply _ -> 7
+  | Invalidate _ -> 8
+  | Inval_ack _ -> 9
+  | Sharing_wb _ -> 10
+  | Own_ack _ -> 11
+  | Downgrade _ -> 12
+  | Lock_req _ -> 13
+  | Lock_grant _ -> 14
+  | Lock_release _ -> 15
+  | Barrier_arrive _ -> 16
+  | Barrier_release _ -> 17
+
+let tag_names =
+  [|
+    "read_req";
+    "readex_req";
+    "upgrade_req";
+    "read_fwd";
+    "readex_fwd";
+    "upgrade_fwd";
+    "data_reply";
+    "upgrade_reply";
+    "invalidate";
+    "inval_ack";
+    "sharing_wb";
+    "own_ack";
+    "downgrade";
+    "lock_req";
+    "lock_grant";
+    "lock_release";
+    "barrier_arrive";
+    "barrier_release";
+  |]
+
 let describe = function
   | Req { kind = Read; _ } -> "read_req"
   | Req { kind = Readex; _ } -> "readex_req"

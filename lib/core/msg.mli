@@ -41,5 +41,15 @@ type t =
 val size_bytes : t -> int
 (** Wire size: a 16-byte header plus any data payload. *)
 
+val block_of : t -> int option
+(** The block a coherence message concerns; [None] for sync traffic. *)
+
+val tag : t -> int
+(** Stable small-integer message class, indexing {!tag_names} — request
+    messages are split by [req_kind], [Fwd] is not. Used as a histogram
+    key for per-kind message counters. *)
+
+val tag_names : string array
+
 val describe : t -> string
 (** Constructor name, for traces and tests. *)

@@ -1,16 +1,24 @@
 type base = Shasta_mem.State_table.base
 
 type t = {
-  on_state : node:int -> block:int -> from_:base -> to_:base -> unit;
-  on_private : proc:int -> block:int -> from_:base -> to_:base -> unit;
-  on_pending : node:int -> block:int -> set:bool -> unit;
-  on_pending_downgrade : node:int -> block:int -> set:bool -> unit;
+  on_state :
+    by:int -> node:int -> block:int -> from_:base -> to_:base -> now:int -> unit;
+  on_private :
+    by:int -> proc:int -> block:int -> from_:base -> to_:base -> now:int -> unit;
+  on_pending : by:int -> node:int -> block:int -> set:bool -> now:int -> unit;
+  on_pending_downgrade :
+    by:int -> node:int -> block:int -> set:bool -> now:int -> unit;
   on_send : src:int -> dst:int -> now:int -> Msg.t -> unit;
   on_recv : src:int -> dst:int -> now:int -> Msg.t -> unit;
-  on_downgrade_ack : proc:int -> block:int -> unit;
-  on_downgrade_done : proc:int -> block:int -> unit;
-  on_downgrade_queued : proc:int -> block:int -> src:int -> Msg.t -> unit;
-  on_downgrade_replay : proc:int -> block:int -> src:int -> Msg.t -> unit;
+  on_miss_start : proc:int -> block:int -> kind:Msg.req_kind -> now:int -> unit;
+  on_miss_end :
+    proc:int -> block:int -> kind:Msg.req_kind -> start:int -> now:int -> unit;
+  on_downgrade_ack : proc:int -> block:int -> now:int -> unit;
+  on_downgrade_done : proc:int -> block:int -> now:int -> unit;
+  on_downgrade_queued :
+    proc:int -> block:int -> src:int -> now:int -> Msg.t -> unit;
+  on_downgrade_replay :
+    proc:int -> block:int -> src:int -> now:int -> Msg.t -> unit;
   on_load : proc:int -> addr:int -> len:int -> now:int -> unit;
   on_store : proc:int -> addr:int -> len:int -> now:int -> unit;
   on_lock_acquired : proc:int -> lock:int -> now:int -> unit;
@@ -21,16 +29,18 @@ type t = {
 
 let nil =
   {
-    on_state = (fun ~node:_ ~block:_ ~from_:_ ~to_:_ -> ());
-    on_private = (fun ~proc:_ ~block:_ ~from_:_ ~to_:_ -> ());
-    on_pending = (fun ~node:_ ~block:_ ~set:_ -> ());
-    on_pending_downgrade = (fun ~node:_ ~block:_ ~set:_ -> ());
+    on_state = (fun ~by:_ ~node:_ ~block:_ ~from_:_ ~to_:_ ~now:_ -> ());
+    on_private = (fun ~by:_ ~proc:_ ~block:_ ~from_:_ ~to_:_ ~now:_ -> ());
+    on_pending = (fun ~by:_ ~node:_ ~block:_ ~set:_ ~now:_ -> ());
+    on_pending_downgrade = (fun ~by:_ ~node:_ ~block:_ ~set:_ ~now:_ -> ());
     on_send = (fun ~src:_ ~dst:_ ~now:_ _ -> ());
     on_recv = (fun ~src:_ ~dst:_ ~now:_ _ -> ());
-    on_downgrade_ack = (fun ~proc:_ ~block:_ -> ());
-    on_downgrade_done = (fun ~proc:_ ~block:_ -> ());
-    on_downgrade_queued = (fun ~proc:_ ~block:_ ~src:_ _ -> ());
-    on_downgrade_replay = (fun ~proc:_ ~block:_ ~src:_ _ -> ());
+    on_miss_start = (fun ~proc:_ ~block:_ ~kind:_ ~now:_ -> ());
+    on_miss_end = (fun ~proc:_ ~block:_ ~kind:_ ~start:_ ~now:_ -> ());
+    on_downgrade_ack = (fun ~proc:_ ~block:_ ~now:_ -> ());
+    on_downgrade_done = (fun ~proc:_ ~block:_ ~now:_ -> ());
+    on_downgrade_queued = (fun ~proc:_ ~block:_ ~src:_ ~now:_ _ -> ());
+    on_downgrade_replay = (fun ~proc:_ ~block:_ ~src:_ ~now:_ _ -> ());
     on_load = (fun ~proc:_ ~addr:_ ~len:_ ~now:_ -> ());
     on_store = (fun ~proc:_ ~addr:_ ~len:_ ~now:_ -> ());
     on_lock_acquired = (fun ~proc:_ ~lock:_ ~now:_ -> ());
@@ -42,21 +52,21 @@ let nil =
 let seq a b =
   {
     on_state =
-      (fun ~node ~block ~from_ ~to_ ->
-        a.on_state ~node ~block ~from_ ~to_;
-        b.on_state ~node ~block ~from_ ~to_);
+      (fun ~by ~node ~block ~from_ ~to_ ~now ->
+        a.on_state ~by ~node ~block ~from_ ~to_ ~now;
+        b.on_state ~by ~node ~block ~from_ ~to_ ~now);
     on_private =
-      (fun ~proc ~block ~from_ ~to_ ->
-        a.on_private ~proc ~block ~from_ ~to_;
-        b.on_private ~proc ~block ~from_ ~to_);
+      (fun ~by ~proc ~block ~from_ ~to_ ~now ->
+        a.on_private ~by ~proc ~block ~from_ ~to_ ~now;
+        b.on_private ~by ~proc ~block ~from_ ~to_ ~now);
     on_pending =
-      (fun ~node ~block ~set ->
-        a.on_pending ~node ~block ~set;
-        b.on_pending ~node ~block ~set);
+      (fun ~by ~node ~block ~set ~now ->
+        a.on_pending ~by ~node ~block ~set ~now;
+        b.on_pending ~by ~node ~block ~set ~now);
     on_pending_downgrade =
-      (fun ~node ~block ~set ->
-        a.on_pending_downgrade ~node ~block ~set;
-        b.on_pending_downgrade ~node ~block ~set);
+      (fun ~by ~node ~block ~set ~now ->
+        a.on_pending_downgrade ~by ~node ~block ~set ~now;
+        b.on_pending_downgrade ~by ~node ~block ~set ~now);
     on_send =
       (fun ~src ~dst ~now m ->
         a.on_send ~src ~dst ~now m;
@@ -65,22 +75,30 @@ let seq a b =
       (fun ~src ~dst ~now m ->
         a.on_recv ~src ~dst ~now m;
         b.on_recv ~src ~dst ~now m);
+    on_miss_start =
+      (fun ~proc ~block ~kind ~now ->
+        a.on_miss_start ~proc ~block ~kind ~now;
+        b.on_miss_start ~proc ~block ~kind ~now);
+    on_miss_end =
+      (fun ~proc ~block ~kind ~start ~now ->
+        a.on_miss_end ~proc ~block ~kind ~start ~now;
+        b.on_miss_end ~proc ~block ~kind ~start ~now);
     on_downgrade_ack =
-      (fun ~proc ~block ->
-        a.on_downgrade_ack ~proc ~block;
-        b.on_downgrade_ack ~proc ~block);
+      (fun ~proc ~block ~now ->
+        a.on_downgrade_ack ~proc ~block ~now;
+        b.on_downgrade_ack ~proc ~block ~now);
     on_downgrade_done =
-      (fun ~proc ~block ->
-        a.on_downgrade_done ~proc ~block;
-        b.on_downgrade_done ~proc ~block);
+      (fun ~proc ~block ~now ->
+        a.on_downgrade_done ~proc ~block ~now;
+        b.on_downgrade_done ~proc ~block ~now);
     on_downgrade_queued =
-      (fun ~proc ~block ~src m ->
-        a.on_downgrade_queued ~proc ~block ~src m;
-        b.on_downgrade_queued ~proc ~block ~src m);
+      (fun ~proc ~block ~src ~now m ->
+        a.on_downgrade_queued ~proc ~block ~src ~now m;
+        b.on_downgrade_queued ~proc ~block ~src ~now m);
     on_downgrade_replay =
-      (fun ~proc ~block ~src m ->
-        a.on_downgrade_replay ~proc ~block ~src m;
-        b.on_downgrade_replay ~proc ~block ~src m);
+      (fun ~proc ~block ~src ~now m ->
+        a.on_downgrade_replay ~proc ~block ~src ~now m;
+        b.on_downgrade_replay ~proc ~block ~src ~now m);
     on_load =
       (fun ~proc ~addr ~len ~now ->
         a.on_load ~proc ~addr ~len ~now;

@@ -13,19 +13,35 @@
     (a state hook observes the new table contents), except
     [on_send]/[on_recv] which bracket a message's network transit, and
     [on_barrier_arrive], which fires when the processor commits to the
-    barrier episode [epoch] (before it stalls). *)
+    barrier episode [epoch] (before it stalls).
+
+    Every hook carries [now] (the virtual cycle of the processor that
+    executed the event) and identifies that executing processor — as
+    [by] on the node-level hooks, whose [node]/[proc] argument names the
+    entity that changed rather than the actor, and as [proc]/[src]/[dst]
+    elsewhere. Because each processor's execution is deterministic in
+    virtual time, the stream of events attributed to one executing
+    processor is a pure function of the program and configuration,
+    independent of the host scheduler — which makes per-processor event
+    streams usable as a determinism oracle (see {!Shasta_trace}). *)
 
 type base = Shasta_mem.State_table.base
 
 type t = {
-  on_state : node:int -> block:int -> from_:base -> to_:base -> unit;
-      (** a node's shared state table changed for a whole block *)
-  on_private : proc:int -> block:int -> from_:base -> to_:base -> unit;
-      (** a processor's private state table changed for a whole block
-          (SMP-Shasta; fires only on an actual change) *)
-  on_pending : node:int -> block:int -> set:bool -> unit;
+  on_state :
+    by:int -> node:int -> block:int -> from_:base -> to_:base -> now:int -> unit;
+      (** a node's shared state table changed for a whole block;
+          [by] is the processor executing the transition *)
+  on_private :
+    by:int -> proc:int -> block:int -> from_:base -> to_:base -> now:int -> unit;
+      (** processor [proc]'s private state table changed for a whole
+          block (SMP-Shasta; fires only on an actual change). [by] is
+          the executing processor — a downgrade handler lowers a
+          {e sibling}'s entry, so [by] and [proc] can differ. *)
+  on_pending : by:int -> node:int -> block:int -> set:bool -> now:int -> unit;
       (** the pending (miss outstanding) marker toggled *)
-  on_pending_downgrade : node:int -> block:int -> set:bool -> unit;
+  on_pending_downgrade :
+    by:int -> node:int -> block:int -> set:bool -> now:int -> unit;
       (** the pending-downgrade marker toggled *)
   on_send : src:int -> dst:int -> now:int -> Msg.t -> unit;
       (** a message entered the network ([src <> dst]; inline
@@ -34,17 +50,29 @@ type t = {
       (** a message was polled off the network by [dst], about to be
           handled; replays of messages queued on a miss entry, a busy
           directory entry or a downgrade entry do not re-fire this *)
-  on_downgrade_ack : proc:int -> block:int -> unit;
+  on_miss_start : proc:int -> block:int -> kind:Msg.req_kind -> now:int -> unit;
+      (** a miss entry was allocated: the node had no request in flight
+          for [block] and [proc]'s access created one (sibling accesses
+          that merge into an existing entry do not fire this) *)
+  on_miss_end :
+    proc:int -> block:int -> kind:Msg.req_kind -> start:int -> now:int -> unit;
+      (** the miss entry allocated at cycle [start] retired on [proc]
+          (data applied and all acks in). [kind] is the entry's final
+          kind — an upgrade chained onto a read entry reports [Readex],
+          and the whole chain is one miss span. *)
+  on_downgrade_ack : proc:int -> block:int -> now:int -> unit;
       (** a sibling handled a downgrade message (its private entry is
           already lowered) *)
-  on_downgrade_done : proc:int -> block:int -> unit;
+  on_downgrade_done : proc:int -> block:int -> now:int -> unit;
       (** the deferred protocol action of a node downgrade is about to
           run on [proc] (the processor that handled the last downgrade
           message, or the initiator when no sibling needed one) *)
-  on_downgrade_queued : proc:int -> block:int -> src:int -> Msg.t -> unit;
+  on_downgrade_queued :
+    proc:int -> block:int -> src:int -> now:int -> Msg.t -> unit;
       (** a message arriving during a pending downgrade was queued on
           the entry *)
-  on_downgrade_replay : proc:int -> block:int -> src:int -> Msg.t -> unit;
+  on_downgrade_replay :
+    proc:int -> block:int -> src:int -> now:int -> Msg.t -> unit;
       (** a queued message is being replayed after the downgrade
           completed (fires in replay order) *)
   on_load : proc:int -> addr:int -> len:int -> now:int -> unit;

@@ -25,13 +25,6 @@ let make_ctx m eng =
     smp = m.Machine.cfg.Config.variant = Config.Smp;
   }
 
-(* Debug tracing of every protocol event touching one block: set
-   SHASTA_TRACE_BLOCK to the block's base address (decimal or 0x hex). *)
-let trace_block =
-  match Sys.getenv_opt "SHASTA_TRACE_BLOCK" with
-  | Some s -> Some (int_of_string s)
-  | None -> None
-
 let machine ctx = ctx.m
 let pid ctx = ctx.ps.Machine.pid
 let node ctx = ctx.ps.Machine.node
@@ -90,42 +83,71 @@ let fault_is ctx f = ctx.m.Machine.cfg.Config.fault = Some f
 let obs_state ctx ~block ~from_ ~to_ =
   match ctx.m.Machine.observer with
   | None -> ()
-  | Some o -> o.Observer.on_state ~node:(node ctx) ~block ~from_ ~to_
+  | Some o ->
+    o.Observer.on_state ~by:(pid ctx) ~node:(node ctx) ~block ~from_ ~to_
+      ~now:(Engine.now ctx.eng)
 
 let obs_private ctx ~proc ~block ~from_ ~to_ =
   match ctx.m.Machine.observer with
   | None -> ()
-  | Some o -> o.Observer.on_private ~proc ~block ~from_ ~to_
+  | Some o ->
+    o.Observer.on_private ~by:(pid ctx) ~proc ~block ~from_ ~to_
+      ~now:(Engine.now ctx.eng)
 
 let obs_pending ctx ~block ~set =
   match ctx.m.Machine.observer with
   | None -> ()
-  | Some o -> o.Observer.on_pending ~node:(node ctx) ~block ~set
+  | Some o ->
+    o.Observer.on_pending ~by:(pid ctx) ~node:(node ctx) ~block ~set
+      ~now:(Engine.now ctx.eng)
 
 let obs_pending_downgrade ctx ~block ~set =
   match ctx.m.Machine.observer with
   | None -> ()
-  | Some o -> o.Observer.on_pending_downgrade ~node:(node ctx) ~block ~set
+  | Some o ->
+    o.Observer.on_pending_downgrade ~by:(pid ctx) ~node:(node ctx) ~block ~set
+      ~now:(Engine.now ctx.eng)
+
+let obs_miss_start ctx ~block ~kind =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o ->
+    o.Observer.on_miss_start ~proc:(pid ctx) ~block ~kind
+      ~now:(Engine.now ctx.eng)
+
+let obs_miss_end ctx ~block ~kind ~start =
+  match ctx.m.Machine.observer with
+  | None -> ()
+  | Some o ->
+    o.Observer.on_miss_end ~proc:(pid ctx) ~block ~kind ~start
+      ~now:(Engine.now ctx.eng)
 
 let obs_downgrade_ack ctx ~block =
   match ctx.m.Machine.observer with
   | None -> ()
-  | Some o -> o.Observer.on_downgrade_ack ~proc:(pid ctx) ~block
+  | Some o ->
+    o.Observer.on_downgrade_ack ~proc:(pid ctx) ~block ~now:(Engine.now ctx.eng)
 
 let obs_downgrade_done ctx ~block =
   match ctx.m.Machine.observer with
   | None -> ()
-  | Some o -> o.Observer.on_downgrade_done ~proc:(pid ctx) ~block
+  | Some o ->
+    o.Observer.on_downgrade_done ~proc:(pid ctx) ~block
+      ~now:(Engine.now ctx.eng)
 
 let obs_downgrade_queued ctx ~block ~src msg =
   match ctx.m.Machine.observer with
   | None -> ()
-  | Some o -> o.Observer.on_downgrade_queued ~proc:(pid ctx) ~block ~src msg
+  | Some o ->
+    o.Observer.on_downgrade_queued ~proc:(pid ctx) ~block ~src
+      ~now:(Engine.now ctx.eng) msg
 
 let obs_downgrade_replay ctx ~block ~src msg =
   match ctx.m.Machine.observer with
   | None -> ()
-  | Some o -> o.Observer.on_downgrade_replay ~proc:(pid ctx) ~block ~src msg
+  | Some o ->
+    o.Observer.on_downgrade_replay ~proc:(pid ctx) ~block ~src
+      ~now:(Engine.now ctx.eng) msg
 
 let obs_recv ctx ~src ~now msg =
   match ctx.m.Machine.observer with
@@ -276,52 +298,21 @@ let write_flag_now ctx block =
     done;
     Image.write_bytes ns.Machine.image ~addr:block ~skip flags
 
-let rec stamp_invalid ctx block =
+let stamp_invalid ctx block =
   let ns = node_state ctx in
   if fault_is ctx Config.Skip_flag_stamp then
     (* Test-only fault: leave stale application data behind where the
        invalid-flag pattern belongs. *)
     ()
-  else if block_in_active_batch ctx block then begin
-    trace_stamp ctx block true;
+  else if block_in_active_batch ctx block then
     Hashtbl.replace ns.Machine.deferred_flags block ()
-  end
-  else begin
-    trace_stamp ctx block false;
-    write_flag_now ctx block
-  end
-
-and trace_stamp ctx block deferred =
-  if trace_block = Some block then
-    Printf.eprintf "[p%d] stamp %s\n%!" (pid ctx)
-      (if deferred then "deferred" else "NOW")
+  else write_flag_now ctx block
 
 (* ------------------------------------------------------------------ *)
 (* Message handling. [deliver] routes to the network unless the
    destination is this very processor, in which case the handler runs
    inline (a processor never sends itself a message; this is the
    requester-is-home fast path of Base-Shasta). *)
-
-let trace ctx block msg =
-  if trace_block = Some block then begin
-    let v = Image.load_float (node_state ctx).Machine.image (block + 32) in
-    Printf.eprintf "[p%d @%d] %s | v=%h\n%!" (pid ctx) (Engine.now ctx.eng) msg v
-  end
-
-let block_of_msg = function
-  | Msg.Req { block; _ }
-  | Msg.Fwd { block; _ }
-  | Msg.Data_reply { block; _ }
-  | Msg.Upgrade_reply { block; _ }
-  | Msg.Invalidate { block; _ }
-  | Msg.Inval_ack { block; _ }
-  | Msg.Sharing_wb { block; _ }
-  | Msg.Own_ack { block; _ }
-  | Msg.Downgrade { block; _ } ->
-    Some block
-  | Msg.Lock_req _ | Msg.Lock_grant _ | Msg.Lock_release _
-  | Msg.Barrier_arrive _ | Msg.Barrier_release _ ->
-    None
 
 let rec deliver ctx dst msg =
   if dst = pid ctx then handle_message ctx ~src:(pid ctx) msg
@@ -337,9 +328,6 @@ let rec deliver ctx dst msg =
   end
 
 and handle_message ctx ~src msg =
-  (match block_of_msg msg with
-  | Some b -> trace ctx b (Printf.sprintf "handle %s from p%d" (Msg.describe msg) src)
-  | None -> ());
   charge ctx ctx.t.Timing.handler_base;
   (match msg with
   | Msg.Req _ | Msg.Fwd _ | Msg.Data_reply _ | Msg.Upgrade_reply _
@@ -645,12 +633,6 @@ and handle_invalidate ctx ~src ~block ~requester msg =
 
 and start_node_downgrade ctx ~block ~target ~deferred =
   let ns = node_state ctx in
-  trace ctx block
-    (Printf.sprintf "start_downgrade target=%s"
-       (match target with
-       | State_table.Invalid -> "I"
-       | State_table.Shared -> "S"
-       | State_table.Exclusive -> "E"));
   charge ctx ctx.t.Timing.downgrade_initiate;
   let siblings =
     List.filter
@@ -704,13 +686,6 @@ and handle_downgrade_msg ctx ~block ~target =
 and execute_deferred ctx ~block ~target ~deferred =
   let ns = node_state ctx in
   ns.Machine.downgrade_epoch <- ns.Machine.downgrade_epoch + 1;
-  trace ctx block
-    (Printf.sprintf "execute_deferred %s"
-       (match deferred with
-       | Downgrade.Reply_read { requester } -> Printf.sprintf "reply_read->%d" requester
-       | Downgrade.Reply_readex { requester; _ } ->
-         Printf.sprintf "reply_readex->%d" requester
-       | Downgrade.Inval_done { requester } -> Printf.sprintf "inval_done->%d" requester));
   let home = Machine.home_of_block ctx.m block in
   obs_downgrade_done ctx ~block;
   (match Downgrade.find ns.Machine.downgrades ~block with
@@ -749,6 +724,8 @@ and execute_deferred ctx ~block ~target ~deferred =
 
 and finish_entry ctx e =
   let ns = node_state ctx in
+  obs_miss_end ctx ~block:e.Miss_table.block ~kind:e.Miss_table.kind
+    ~start:e.Miss_table.start_cycles;
   Miss_table.remove ns.Machine.misses e;
   Bitset.iter
     (fun p ->
@@ -783,13 +760,6 @@ and handle_data_reply ctx ~kind ~block ~data ~from_home ~inval_acks =
     let batch_skip =
       Option.value ~default:[] (Hashtbl.find_opt ns.Machine.batch_wranges block)
     in
-    trace ctx block
-      (Printf.sprintf "apply kind=%s entry_kind=%s ranges=[%s]"
-         (match kind with Msg.Read -> "R" | Msg.Readex -> "X" | Msg.Upgrade -> "U")
-         (match e.Miss_table.kind with Msg.Read -> "R" | Msg.Readex -> "X" | Msg.Upgrade -> "U")
-         (String.concat ";"
-            (List.map (fun (o, l) -> Printf.sprintf "%d+%d" o l)
-               e.Miss_table.store_ranges)));
     Image.write_bytes ns.Machine.image ~addr:block
       ~skip:(e.Miss_table.store_ranges @ batch_skip)
       data;
@@ -993,14 +963,12 @@ let deliver_dir ctx home msg =
 
 let issue_request ctx ~block ~kind =
   let ns = node_state ctx in
-  trace ctx block
-    (Printf.sprintf "issue_request %s"
-       (match kind with Msg.Read -> "R" | Msg.Readex -> "X" | Msg.Upgrade -> "U"));
   assert (Miss_table.find ns.Machine.misses ~block = None);
   let e =
     Miss_table.add ns.Machine.misses ~block ~requester:(pid ctx) ~kind
       ~now:(Engine.now ctx.eng)
   in
+  obs_miss_start ctx ~block ~kind;
   set_block_pending ctx ns.Machine.table block true;
   charge ctx ctx.t.Timing.miss_setup;
   deliver_dir ctx (Machine.home_of_block ctx.m block) (Msg.Req { kind; block });
@@ -1120,6 +1088,7 @@ let rec store_miss ctx ~addr ~len write =
           Miss_table.add ns.Machine.misses ~block ~requester:(pid ctx) ~kind
             ~now:(Engine.now ctx.eng)
         in
+        obs_miss_start ctx ~block ~kind;
         set_block_pending ctx ns.Machine.table block true;
         ctx.ps.Machine.outstanding_stores <-
           ctx.ps.Machine.outstanding_stores + 1;
@@ -1179,9 +1148,6 @@ let rec ensure_line ctx line need =
        the batched stores coherently. Insisting that the state remain
        sufficient would livelock two nodes batching the same block. *)
     let accept _e =
-      trace ctx block
-        (Printf.sprintf "ensure_line accept line=%d sufficient=%b" line
-           (sufficient ()));
       (* Whether the data arrived via a reply (landed, stamped flag
          deferred by our markers) or was already present (an upgrade of
          a shared copy), the bytes are in memory now and will stay there
@@ -1262,15 +1228,6 @@ let batch_begin ctx ranges =
       Hashtbl.replace ns.Machine.batch_lines l (cur + 1))
     lines;
   let table = check_table ctx in
-  (match trace_block with
-  | Some b
-    when List.exists
-           (fun l -> Machine.block_base ctx.m (Layout.addr_of_line layout l) = b)
-           lines ->
-    Printf.eprintf "[p%d @%d] batch_begin lines=[%s]\n%!" (pid ctx)
-      (Engine.now ctx.eng)
-      (String.concat ";" (List.map string_of_int lines))
-  | _ -> ());
   let missing =
     List.filter
       (fun l ->
@@ -1355,16 +1312,6 @@ let unregister_wpiece ctx (block, off, len) =
 
 let batch_end ctx token =
   let ns = node_state ctx in
-  (match trace_block with
-  | Some b
-    when List.exists
-           (fun l ->
-             Machine.block_base ctx.m
-               (Layout.addr_of_line ctx.m.Machine.layout l)
-             = b)
-           token.b_lines ->
-    Printf.eprintf "[p%d @%d] batch_end\n%!" (pid ctx) (Engine.now ctx.eng)
-  | _ -> ());
   List.iter (replay_wpiece ctx) token.b_wpieces;
   List.iter (unregister_wpiece ctx) token.b_wpieces;
   List.iter

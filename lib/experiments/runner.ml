@@ -81,6 +81,22 @@ let with_cache f = Mutex.protect cache_mutex f
 let executed_cycles = Atomic.make 0
 let simulated_cycles () = Atomic.get executed_cycles
 
+(* Global metrics aggregate over every traced run (SHASTA_TRACE=1).
+   Filled under [metrics_mutex] as worker domains complete; merging is
+   commutative, so the aggregate is independent of the jobs count and
+   completion order. *)
+let metrics_mutex = Mutex.create ()
+let metrics_agg = Shasta_trace.Metrics.create ()
+let metrics_runs = Atomic.make 0
+
+let traced_runs () = Atomic.get metrics_runs
+
+let metrics_snapshot () =
+  Mutex.protect metrics_mutex (fun () ->
+      let copy = Shasta_trace.Metrics.create () in
+      Shasta_trace.Metrics.merge_into ~into:copy metrics_agg;
+      copy)
+
 let execute spec =
   let maker = Shasta_apps.Registry.find spec.app in
   let inst = maker ~vg:spec.vg ~scale:spec.scale () in
@@ -105,8 +121,22 @@ let execute spec =
     if cfg.Config.sanitize > 1 then Some (Shasta_check.Races.attach (Dsm.machine h))
     else None
   in
+  (* SHASTA_TRACE=1 attaches the metrics observer; per-run instances
+     merge into the global aggregate below. Cycle-neutral, like every
+     observer. *)
+  let mx =
+    if cfg.Config.trace > 0 then
+      Some (Shasta_trace.Metrics.attach (Dsm.machine h))
+    else None
+  in
   let body, verify = inst.App.setup h in
   Dsm.run h body;
+  (match mx with
+  | Some mx ->
+    Atomic.incr metrics_runs;
+    Mutex.protect metrics_mutex (fun () ->
+        Shasta_trace.Metrics.merge_into ~into:metrics_agg mx)
+  | None -> ());
   (match san with
   | Some san when Shasta_check.Sanitizer.violation_count san > 0 ->
     failwith

@@ -70,3 +70,12 @@ val simulated_cycles : unit -> int
 (** Cumulative [parallel_cycles] over all runs actually executed so far
     (cache hits contribute nothing). Difference across a span to
     attribute simulated work to it. *)
+
+val traced_runs : unit -> int
+(** Runs executed with the metrics observer attached
+    ([Config.trace > 0], i.e. [SHASTA_TRACE=1]). *)
+
+val metrics_snapshot : unit -> Shasta_trace.Metrics.t
+(** A copy of the global metrics aggregate over every traced run so far
+    (empty when tracing was never on). Aggregation is commutative, so
+    the snapshot is independent of the [run_batch] jobs count. *)

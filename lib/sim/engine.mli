@@ -60,7 +60,12 @@ val run :
     performs the yield effect and re-enters the scheduler, as the
     original yield-per-advance scheduler did. The simulation outcome is
     identical either way; the flag exists for benchmarking and for
-    cross-checking determinism.
+    cross-checking determinism. The equivalence is stronger than final
+    counters: anything a processor observes or emits is a pure function
+    of its own virtual clock, so an event stream attributed to the
+    {e executing} processor at its cycle (as the core [Observer.t]
+    hooks are) is identical event-for-event under both schedulers — the
+    trace-golden test uses this as its oracle.
 
     [arrival_hint pid] may return the earliest arrival timestamp of an
     in-flight message destined to [pid], or [max_int] when none (the

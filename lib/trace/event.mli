@@ -1,0 +1,65 @@
+(** Structured protocol trace events.
+
+    One event records one protocol occurrence, attributed to the
+    processor that {e executed} it ([proc]) at that processor's virtual
+    cycle ([time]). Because each processor's execution is deterministic
+    in virtual time, the sub-stream of any one [proc] is independent of
+    the host scheduler; the merged stream (ordered by time, then proc,
+    then per-proc emission order) is therefore a scheduler-invariant
+    oracle — see [Recorder.events]. *)
+
+type base = Shasta_mem.State_table.base
+
+type payload =
+  | State of { node : int; block : int; from_ : base; to_ : base }
+      (** a node's shared state table changed *)
+  | Private of { target : int; block : int; from_ : base; to_ : base }
+      (** processor [target]'s private table changed (possibly lowered
+          by a sibling — the event's [proc] is the executor) *)
+  | Pending of { node : int; block : int; set : bool }
+  | Pending_downgrade of { node : int; block : int; set : bool }
+  | Send of { dst : int; kind : int; size : int; block : int }
+      (** [kind] indexes {!Shasta_core.Msg.tag_names}; [size] is the
+          wire size in bytes; [block] is [-1] for sync traffic *)
+  | Recv of { src : int; kind : int; size : int; block : int }
+  | Miss_start of { block : int; kind : Shasta_core.Msg.req_kind }
+  | Miss_end of { block : int; kind : Shasta_core.Msg.req_kind; start : int }
+      (** the miss that started at cycle [start] retired; a chained
+          read-then-upgrade is one span with the final kind *)
+  | Downgrade_ack of { block : int }
+  | Downgrade_done of { block : int }
+  | Downgrade_queued of { block : int; src : int; kind : int }
+  | Downgrade_replay of { block : int; src : int; kind : int }
+  | Lock_acquired of { lock : int }
+  | Lock_released of { lock : int }
+  | Barrier_arrive of { barrier : int; epoch : int }
+  | Barrier_leave of { barrier : int; epoch : int }
+
+type t = { proc : int; time : int; payload : payload }
+
+val class_name : t -> string
+(** Payload constructor as a lowercase identifier ([state], [send],
+    [miss_end], ...) — the vocabulary of the [--kind] filter. *)
+
+val block_of : t -> int option
+
+val base_name : base -> string
+val req_kind_name : Shasta_core.Msg.req_kind -> string
+val msg_kind_name : int -> string
+
+val describe : t -> string
+(** Payload rendered without the [proc]/[time] prefix. *)
+
+val to_string : t -> string
+(** Flight-recorder line: ["[p3 @1042] send data_reply -> p0 80B ..."]. *)
+
+type filter = {
+  procs : int list;  (** empty = all *)
+  blocks : int list;  (** block base addresses; empty = all *)
+  kinds : string list;  (** {!class_name} values; empty = all *)
+  from_ : int option;  (** inclusive lower time bound *)
+  upto : int option;  (** inclusive upper time bound *)
+}
+
+val no_filter : filter
+val matches : filter -> t -> bool

@@ -16,6 +16,28 @@ let fraction t k =
   let n = total t in
   if n = 0 then 0. else float_of_int (count t k) /. float_of_int n
 
+let percentile t p =
+  let n = total t in
+  if n = 0 then 0
+  else begin
+    let p = if p < 0. then 0. else if p > 1. then 1. else p in
+    (* Smallest key whose cumulative count reaches [ceil (p * n)],
+       with p = 0 mapping to the first recorded value. *)
+    let target = max 1 (int_of_float (ceil (p *. float_of_int n))) in
+    let acc = ref 0 and result = ref 0 and found = ref false in
+    List.iter
+      (fun k ->
+        if not !found then begin
+          acc := !acc + count t k;
+          if !acc >= target then begin
+            result := k;
+            found := true
+          end
+        end)
+      (keys t);
+    !result
+  end
+
 let merge a b =
   let r = create () in
   Hashtbl.iter (fun k c -> add_many r k c) a;

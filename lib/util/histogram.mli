@@ -25,6 +25,13 @@ val keys : t -> int list
 val fraction : t -> int -> float
 (** [fraction t k] is [count t k / total t] ([0.] on an empty histogram). *)
 
+val percentile : t -> float -> int
+(** [percentile t p] (with [p] clamped to [0..1]) is the smallest
+    recorded key whose cumulative count covers a [p] fraction of the
+    total: [percentile t 1.] is the largest key, [percentile t 0.] the
+    smallest, and the result always is a recorded key. [0] on an empty
+    histogram. *)
+
 val merge : t -> t -> t
 (** Pointwise sum; inputs unchanged. *)
 

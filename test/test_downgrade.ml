@@ -102,8 +102,8 @@ let test_replay_in_arrival_order () =
   Dsm.add_observer h
     {
       Observer.nil with
-      Observer.on_downgrade_ack = (fun ~proc:_ ~block -> transfer block);
-      Observer.on_downgrade_replay = (fun ~proc:_ ~block:_ ~src msg ->
+      Observer.on_downgrade_ack = (fun ~proc:_ ~block ~now:_ -> transfer block);
+      Observer.on_downgrade_replay = (fun ~proc:_ ~block:_ ~src ~now:_ msg ->
         replayed := (src, Msg.describe msg) :: !replayed);
     };
   Dsm.run h (fun ctx ->

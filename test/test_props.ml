@@ -226,6 +226,167 @@ let prop_phased_batched =
     (fun (clustering, block_size, nslots, nphases, seed) ->
       run_phased_batched ~clustering ~block_size ~nslots ~nphases ~seed)
 
+(* Vector-clock algebra: [join] must be a least upper bound for the
+   [leq] partial order, since the race detector's happens-before
+   reasoning rests on exactly these laws. *)
+module Vclock = Shasta_check.Vclock
+
+let vc_of_list l =
+  let t = Vclock.create (Array.length l) in
+  Array.iteri
+    (fun i v ->
+      for _ = 1 to v do
+        Vclock.tick t i
+      done)
+    l;
+  t
+
+let vc_equal w a b =
+  let ok = ref true in
+  for i = 0 to w - 1 do
+    if Vclock.get a i <> Vclock.get b i then ok := false
+  done;
+  !ok
+
+let vc_join a b =
+  let r = Vclock.copy a in
+  Vclock.join r b;
+  r
+
+let gen_vc_triple =
+  QCheck.Gen.(
+    let* w = int_range 1 6 in
+    let comps = array_size (return w) (int_bound 8) in
+    let* a = comps and* b = comps and* c = comps in
+    return (w, a, b, c))
+
+let print_vc_triple (w, a, b, c) =
+  let s l = String.concat "," (List.map string_of_int (Array.to_list l)) in
+  Printf.sprintf "w=%d a=[%s] b=[%s] c=[%s]" w (s a) (s b) (s c)
+
+let prop_vclock_semilattice =
+  QCheck.Test.make ~name:"vclock join is a join-semilattice" ~count:300
+    (QCheck.make ~print:print_vc_triple gen_vc_triple)
+    (fun (w, la, lb, lc) ->
+      let a = vc_of_list la and b = vc_of_list lb and c = vc_of_list lc in
+      (* commutative, associative, idempotent *)
+      vc_equal w (vc_join a b) (vc_join b a)
+      && vc_equal w (vc_join (vc_join a b) c) (vc_join a (vc_join b c))
+      && vc_equal w (vc_join a a) a
+      (* join is an upper bound... *)
+      && Vclock.leq a (vc_join a b)
+      && Vclock.leq b (vc_join a b)
+      (* ...and the least one: any upper bound u of {a,b} dominates it *)
+      && (let u = vc_join (vc_join a b) c in
+          Vclock.leq (vc_join a b) u))
+
+let prop_vclock_partial_order =
+  QCheck.Test.make ~name:"vclock leq is a partial order" ~count:300
+    (QCheck.make ~print:print_vc_triple gen_vc_triple)
+    (fun (w, la, lb, lc) ->
+      let a = vc_of_list la in
+      (* reflexive *)
+      Vclock.leq a a
+      (* antisymmetric on an arbitrary pair *)
+      && (let b = vc_of_list lb in
+          (not (Vclock.leq a b && Vclock.leq b a)) || vc_equal w a b)
+      (* transitive along a constructed chain a <= b' <= c' *)
+      && (let b' = vc_join a (vc_of_list lb) in
+          let c' = vc_join b' (vc_of_list lc) in
+          Vclock.leq a b' && Vclock.leq b' c' && Vclock.leq a c')
+      (* leq agrees with join: a <= b iff a |_| b = b *)
+      && (let b = vc_of_list lb in
+          Vclock.leq a b = vc_equal w (vc_join a b) b))
+
+(* Histogram invariants: total/count/fraction bookkeeping, percentile
+   order statistics, and merge linearity — the metrics subsystem's
+   summaries (p50/p90/p99) are computed from exactly these. *)
+module Histogram = Shasta_util.Histogram
+
+let hist_of_pairs pairs =
+  let h = Histogram.create () in
+  List.iter (fun (k, n) -> Histogram.add_many h k n) pairs;
+  h
+
+let gen_pairs =
+  QCheck.Gen.(
+    small_list (pair (int_range 0 50) (int_range 1 20)))
+
+let print_pairs pairs =
+  String.concat ";" (List.map (fun (k, n) -> Printf.sprintf "%d*%d" k n) pairs)
+
+let prop_histogram_counts =
+  QCheck.Test.make ~name:"histogram total/count/fraction bookkeeping"
+    ~count:300
+    (QCheck.make ~print:print_pairs gen_pairs)
+    (fun pairs ->
+      let h = hist_of_pairs pairs in
+      let expect_total = List.fold_left (fun acc (_, n) -> acc + n) 0 pairs in
+      let keys = Histogram.keys h in
+      Histogram.total h = expect_total
+      && List.for_all
+           (fun k ->
+             Histogram.count h k
+             = List.fold_left
+                 (fun acc (k', n) -> if k' = k then acc + n else acc)
+                 0 pairs)
+           keys
+      && List.sort_uniq compare keys = keys (* ascending, no dups *)
+      && (keys = []
+         || abs_float
+              (List.fold_left (fun acc k -> acc +. Histogram.fraction h k) 0. keys
+              -. 1.0)
+            < 1e-9))
+
+let prop_histogram_percentile =
+  QCheck.Test.make ~name:"histogram percentile order statistics" ~count:300
+    (QCheck.make
+       ~print:(fun (pairs, p1, p2) ->
+         Printf.sprintf "[%s] p1=%.3f p2=%.3f" (print_pairs pairs) p1 p2)
+       QCheck.Gen.(triple gen_pairs (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+    (fun (pairs, p1, p2) ->
+      let h = hist_of_pairs pairs in
+      match Histogram.keys h with
+      | [] -> Histogram.percentile h p1 = 0
+      | keys ->
+        let lo = List.hd keys and hi = List.nth keys (List.length keys - 1) in
+        let plo = min p1 p2 and phi = max p1 p2 in
+        (* endpoints, membership, bounds, monotonicity *)
+        Histogram.percentile h 0. = lo
+        && Histogram.percentile h 1. = hi
+        && List.mem (Histogram.percentile h p1) keys
+        && lo <= Histogram.percentile h p1
+        && Histogram.percentile h p1 <= hi
+        && Histogram.percentile h plo <= Histogram.percentile h phi
+        (* brute-force check against the definition: smallest key whose
+           cumulative count reaches ceil(p * total) (at least 1) *)
+        && (let target =
+              max 1 (int_of_float (ceil (p1 *. float_of_int (Histogram.total h))))
+            in
+            let rec scan acc = function
+              | [] -> assert false
+              | k :: rest ->
+                let acc = acc + Histogram.count h k in
+                if acc >= target then k else scan acc rest
+            in
+            Histogram.percentile h p1 = scan 0 keys))
+
+let prop_histogram_merge =
+  QCheck.Test.make ~name:"histogram merge is pointwise sum" ~count:300
+    (QCheck.make
+       ~print:(fun (a, b) -> print_pairs a ^ " | " ^ print_pairs b)
+       QCheck.Gen.(pair gen_pairs gen_pairs))
+    (fun (pa, pb) ->
+      let a = hist_of_pairs pa and b = hist_of_pairs pb in
+      let m = Histogram.merge a b in
+      Histogram.total m = Histogram.total a + Histogram.total b
+      && List.for_all
+           (fun k -> Histogram.count m k = Histogram.count a k + Histogram.count b k)
+           (Histogram.keys m)
+      (* inputs unchanged *)
+      && Histogram.total a = List.fold_left (fun acc (_, n) -> acc + n) 0 pa
+      && Histogram.total b = List.fold_left (fun acc (_, n) -> acc + n) 0 pb)
+
 let () =
   Alcotest.run "props"
     [
@@ -235,5 +396,16 @@ let () =
           QCheck_alcotest.to_alcotest prop_phased_batched;
           QCheck_alcotest.to_alcotest prop_lock_counters;
           QCheck_alcotest.to_alcotest prop_directory_invariants;
+        ] );
+      ( "vclock",
+        [
+          QCheck_alcotest.to_alcotest prop_vclock_semilattice;
+          QCheck_alcotest.to_alcotest prop_vclock_partial_order;
+        ] );
+      ( "histogram",
+        [
+          QCheck_alcotest.to_alcotest prop_histogram_counts;
+          QCheck_alcotest.to_alcotest prop_histogram_percentile;
+          QCheck_alcotest.to_alcotest prop_histogram_merge;
         ] );
     ]

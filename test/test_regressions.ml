@@ -15,7 +15,13 @@
    8. home's own node invalidated asynchronously by its own transaction
       (home-node invalidations now run inline);
    9. store merged into a data-ready entry that no future reply covers;
-   10. private entry raised back to exclusive during a pending downgrade. *)
+   10. private entry raised back to exclusive during a pending downgrade.
+
+   This file also absorbed the one-shot debug drivers (debug_repro.ml,
+   debug_hang.ml) that once lived beside it: their scenarios are pinned
+   below, and the hang-dump capability moved to `shasta_cli trace`
+   (which prints the machine state and the freshest trace events on a
+   cycle-limit hang). *)
 
 module Dsm = Shasta_core.Dsm
 module Config = Shasta_core.Config
