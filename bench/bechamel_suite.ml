@@ -111,6 +111,45 @@ let test_always_yield =
 let test_run_ahead =
   Test.make ~name:"scheduler/run-ahead" (Staged.stage (sched_workload true))
 
+(* Hot-loop pair: the same batched daxpy row kernel dispatched through
+   per-access [Dsm.Batch] calls and interpreted as a compiled access
+   program ([Dsm.Prog]). Virtual-time results are identical by
+   construction (test_batch asserts it), so the host-time delta is the
+   per-op closure/check dispatch the flat-int interpreter removes —
+   the §3.4.1 batching idea applied to the simulator itself. *)
+let daxpy_workload use_prog () =
+  let cfg = Config.create ~variant:Config.Smp ~nprocs:4 ~clustering:4 () in
+  let h = Dsm.create cfg in
+  let n = 64 in
+  let s = 2.0 in
+  let dst = Dsm.alloc_floats h ~block_size:512 n in
+  let src = Dsm.alloc_floats h ~block_size:512 n in
+  Dsm.run h (fun ctx ->
+      if Dsm.pid ctx = 0 then
+        let prog = Dsm.Prog.fms_row ~len:n ~cost:6 in
+        (* Enough row sweeps that per-access dispatch, not machine
+           construction, dominates the run. *)
+        for _ = 1 to 256 do
+          Dsm.batch ctx
+            [ (dst, n * 8, Dsm.W); (src, n * 8, Dsm.R) ]
+            (fun () ->
+              if use_prog then Dsm.Prog.run ctx prog ~s ~base0:dst ~base1:src
+              else
+                for c = 0 to n - 1 do
+                  let v = Dsm.Batch.load_float ctx (src + (8 * c)) in
+                  let d = Dsm.Batch.load_float ctx (dst + (8 * c)) in
+                  Dsm.Batch.store_float ctx (dst + (8 * c)) (d -. (s *. v));
+                  Dsm.compute ctx 6
+                done)
+        done)
+
+let test_hot_closures =
+  Test.make ~name:"hotloop/closure-dispatch"
+    (Staged.stage (daxpy_workload false))
+
+let test_hot_prog =
+  Test.make ~name:"hotloop/access-program" (Staged.stage (daxpy_workload true))
+
 let tests =
   [
     test_check_hit;
@@ -120,6 +159,8 @@ let tests =
     test_downgrade;
     test_always_yield;
     test_run_ahead;
+    test_hot_closures;
+    test_hot_prog;
   ]
 
 let render () =

@@ -75,7 +75,7 @@ let run_app app_name nprocs protocol clustering vg scale seed smp_sync share_dir
    targets' specs through the domain pool, then render each target
    sequentially from the warm cache. Output is byte-identical for any
    job count; only wall-clock changes. *)
-let report_targets target_names quick jobs =
+let report_targets target_names quick jobs shards =
   let module Targets = Shasta_experiments.Targets in
   let scale = if quick then 0.5 else 1.0 in
   let jobs =
@@ -85,6 +85,14 @@ let report_targets target_names quick jobs =
     Printf.eprintf "--jobs must be a positive integer\n";
     exit 2
   end;
+  (* Override SHASTA_SHARDS for every run created below (Config.create
+     reads it); -1 leaves the environment as-is. *)
+  (match shards with
+  | -1 -> ()
+  | n when n >= 0 -> Unix.putenv "SHASTA_SHARDS" (string_of_int n)
+  | _ ->
+    Printf.eprintf "--shards must be >= 0 (0 = auto)\n";
+    exit 2);
   let names = if target_names = [] then Targets.names else target_names in
   match
     List.partition_map
@@ -372,13 +380,25 @@ let jobs_arg =
            default) means $(b,SHASTA_JOBS) or the machine's core count. The \
            rendered tables are identical for any value.")
 
+let shards_arg =
+  Arg.(
+    value & opt int (-1)
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Number of scheduler shards (domains) inside each simulation; 0 \
+           means auto (one per coherence node, capped at the core count), 1 \
+           runs the sequential scheduler in place. Default: the \
+           $(b,SHASTA_SHARDS) environment variable, else auto. The rendered \
+           tables are identical for any value.")
+
 let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Regenerate the paper's tables/figures, executing the independent \
           simulations concurrently on a domain pool")
-    Term.(const report_targets $ targets_arg $ quick_arg $ jobs_arg)
+    Term.(
+      const report_targets $ targets_arg $ quick_arg $ jobs_arg $ shards_arg)
 
 let litmus_arg =
   Arg.(

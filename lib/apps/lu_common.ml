@@ -91,6 +91,7 @@ let div_column_block ctx layout ~bsz ~k ~i =
 let div_row_block ctx layout ~bsz ~k ~j =
   let diag r c = layout.addr ((k * bsz) + r) ((k * bsz) + c) in
   let tgt r c = layout.addr ((k * bsz) + r) ((j * bsz) + c) in
+  let prog = Dsm.Prog.fms_row ~len:bsz ~cost:flop_cycles in
   Dsm.batch ctx
     (block_ranges layout ~bsz ~bi:k ~bj:k Dsm.R
     @ block_ranges layout ~bsz ~bi:k ~bj:j Dsm.W)
@@ -98,39 +99,28 @@ let div_row_block ctx layout ~bsz ~k ~j =
       for r = 1 to bsz - 1 do
         for m = 0 to r - 1 do
           let lrm = Dsm.Batch.load_float ctx (diag r m) in
-          for c = 0 to bsz - 1 do
-            let v =
-              Dsm.Batch.load_float ctx (tgt r c)
-              -. (lrm *. Dsm.Batch.load_float ctx (tgt m c))
-            in
-            Dsm.Batch.store_float ctx (tgt r c) v;
-            Dsm.compute ctx flop_cycles
-          done
+          Dsm.Prog.run ctx prog ~s:lrm ~base0:(tgt r 0) ~base1:(tgt m 0)
         done
       done)
 
 (* A(i,j) -= A(i,k) * A(k,j), batched per (r, m) row pair as the real
    Shasta batches the straight-line daxpy inner loop — one combined
    check per destination/source row, with the multiplier loaded through
-   an ordinary (checked) float load. *)
+   an ordinary (checked) float load. The row kernel is compiled once per
+   block into an access program ({!Dsm.Prog}), so the dominant inner
+   loop of the whole workload interprets flat ints instead of
+   dispatching closures. *)
 let update_block ctx layout ~bsz ~k ~i ~j =
   let a r m = layout.addr ((i * bsz) + r) ((k * bsz) + m) in
   let b m c = layout.addr ((k * bsz) + m) ((j * bsz) + c) in
   let d r c = layout.addr ((i * bsz) + r) ((j * bsz) + c) in
+  let prog = Dsm.Prog.fms_row ~len:bsz ~cost:(2 * flop_cycles) in
   for r = 0 to bsz - 1 do
     for m = 0 to bsz - 1 do
       let arm = Dsm.load_float ctx (a r m) in
       Dsm.batch ctx
         [ (d r 0, bsz * 8, Dsm.W); (b m 0, bsz * 8, Dsm.R) ]
-        (fun () ->
-          for c = 0 to bsz - 1 do
-            let v =
-              Dsm.Batch.load_float ctx (d r c)
-              -. (arm *. Dsm.Batch.load_float ctx (b m c))
-            in
-            Dsm.Batch.store_float ctx (d r c) v;
-            Dsm.compute ctx (2 * flop_cycles)
-          done)
+        (fun () -> Dsm.Prog.run ctx prog ~s:arm ~base0:(d r 0) ~base1:(b m 0))
     done
   done
 

@@ -16,6 +16,16 @@ let env_trace () =
   | None | Some "" | Some "0" -> 0
   | Some _ -> 1
 
+(* SHASTA_SHARDS likewise; 0 means "auto" (resolved per run against the
+   machine's node count and the host's core count by Dsm.run). *)
+let env_shards () =
+  match Sys.getenv_opt "SHASTA_SHARDS" with
+  | None | Some "" | Some "auto" | Some "0" -> 0
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> invalid_arg "SHASTA_SHARDS: expected auto|0|N>=1")
+
 type t = {
   variant : variant;
   nprocs : int;
@@ -32,6 +42,7 @@ type t = {
   share_directory : bool;
   sanitize : int;
   trace : int;
+  shards : int;
   fault : fault option;
 }
 
@@ -40,11 +51,14 @@ let create ?(variant = Base) ?(nprocs = 1) ?(procs_per_node = 4)
     ?(checks_enabled = true) ?(timing = Timing.default)
     ?(link = Shasta_net.Link.default) ?(max_cycles = 2_000_000_000)
     ?(seed = 42) ?(smp_sync = false) ?(share_directory = false)
-    ?sanitize ?trace ?fault () =
+    ?sanitize ?trace ?shards ?fault () =
   let sanitize =
     match sanitize with Some s -> max 0 s | None -> env_sanitize ()
   in
   let trace = match trace with Some v -> max 0 v | None -> env_trace () in
+  let shards =
+    match shards with Some s -> max 0 s | None -> env_shards ()
+  in
   if nprocs <= 0 then invalid_arg "Config.create: nprocs";
   if procs_per_node <= 0 then invalid_arg "Config.create: procs_per_node";
   if clustering <= 0 then invalid_arg "Config.create: clustering";
@@ -71,6 +85,7 @@ let create ?(variant = Base) ?(nprocs = 1) ?(procs_per_node = 4)
     share_directory;
     sanitize;
     trace;
+    shards;
     fault;
   }
 

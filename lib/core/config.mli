@@ -49,6 +49,14 @@ type t = private {
           metrics observer. Like hooks in general it never charges
           simulated cycles. Defaults to the [SHASTA_TRACE] environment
           variable. *)
+  shards : int;
+      (** scheduler shards for a single run: 0 (the default) means
+          "auto" — one shard per coherence node, capped by the host's
+          recommended domain count; 1 forces the sequential scheduler on
+          the calling domain; N > 1 requests exactly N shards (clamped
+          to the node count). Simulated results are bit-identical at any
+          setting. Defaults to the [SHASTA_SHARDS] environment
+          variable. *)
   fault : fault option;  (** test-only protocol fault injection *)
 }
 
@@ -68,6 +76,7 @@ val create :
   ?share_directory:bool ->
   ?sanitize:int ->
   ?trace:int ->
+  ?shards:int ->
   ?fault:fault ->
   unit ->
   t
@@ -75,6 +84,13 @@ val create :
     lines, 8 MiB heap, checks enabled. Raises [Invalid_argument] on
     inconsistent combinations (Base with clustering > 1, clustering not
     dividing the node size, non-positive sizes). *)
+
+val env_shards : unit -> int
+(** The [SHASTA_SHARDS] environment variable parsed to the [shards]
+    encoding: absent, empty, ["auto"] or ["0"] mean 0 (auto); [N >= 1]
+    means exactly [N]. Raises [Invalid_argument] on anything else. The
+    default for {!create}'s [?shards]; exposed so harnesses (bench) can
+    report the requested value. *)
 
 val nnodes : t -> int
 (** Number of coherence nodes (sharing domains). *)

@@ -4,9 +4,22 @@ module State_table = Shasta_mem.State_table
 module Layout = Shasta_mem.Layout
 module Network = Shasta_net.Network
 
-type handle = { m : Machine.t; mutable ran : bool; mutable sched : int * int }
+type handle = {
+  m : Machine.t;
+  mutable ran : bool;
+  mutable sched : int * int;
+  mutable shards_used : int;
+  mutable shard_info : Engine.shard_stats option;
+}
 
-let create cfg = { m = Machine.create cfg; ran = false; sched = (0, 0) }
+let create cfg =
+  {
+    m = Machine.create cfg;
+    ran = false;
+    sched = (0, 0);
+    shards_used = 0;
+    shard_info = None;
+  }
 let config h = h.m.Machine.cfg
 let machine h = h.m
 
@@ -73,22 +86,99 @@ let lookahead_matrix m =
         let same_node = Shasta_net.Topology.same_node m.Machine.topo p q in
         Shasta_net.Link.transfer_cycles cfg.Config.link ~same_node ~size:0)
 
-let run ?(run_ahead = true) h body =
+(* How many shards a run actually uses. The partition unit is the
+   coherence node (procs sharing a node share images/tables — zero
+   lookahead — and must stay on one domain; distinct nodes interact only
+   through the network, whose cheapest message satisfies the sharded
+   engine's lookahead >= 1 requirement). Forced to 1 when:
+   - [run_ahead] is off (the sharded loop is a run-ahead loop);
+   - fault injection is on (an injected protocol bug may wedge the run
+     before the post-join sweep that replaces the per-barrier sweep);
+   - sanitize >= 2 (the happens-before race detector consumes the merged
+     event stream, which is only virtual-time-ordered sequentially). *)
+let resolve_shards cfg ~run_ahead ~requested =
+  let nnodes = Config.nnodes cfg in
+  let req =
+    match requested with Some n -> n | None -> cfg.Config.shards
+  in
+  let req = if req = 0 then Domain.recommended_domain_count () else req in
+  if
+    (not run_ahead) || cfg.Config.fault <> None || cfg.Config.sanitize >= 2
+  then 1
+  else max 1 (min req nnodes)
+
+let run ?(run_ahead = true) ?shards h body =
   assert (not h.ran);
   h.ran <- true;
   let cfg = h.m.Machine.cfg in
-  let outcome =
-    Engine.run ~nprocs:cfg.Config.nprocs ~max_cycles:cfg.Config.max_cycles
-      ~run_ahead
-      ~arrival_hint:(Machine.earliest_arrival h.m)
-      ~lookahead:(lookahead_matrix h.m)
-      (fun eng ->
-        let p = Protocol.make_ctx h.m eng in
-        let ctx = { p; in_batch = false } in
-        body ctx;
-        Protocol.drain p)
+  let m = h.m in
+  let shards = resolve_shards cfg ~run_ahead ~requested:shards in
+  h.shards_used <- shards;
+  let make_body eng =
+    let p = Protocol.make_ctx m eng in
+    let ctx = { p; in_batch = false } in
+    body ctx;
+    Protocol.drain p
   in
-  h.sched <- (outcome.Engine.yields_performed, outcome.Engine.yields_elided)
+  if shards = 1 then begin
+    let outcome =
+      Engine.run ~nprocs:cfg.Config.nprocs ~max_cycles:cfg.Config.max_cycles
+        ~run_ahead
+        ~arrival_hint:(Machine.earliest_arrival m)
+        ~lookahead:(lookahead_matrix m) make_body
+    in
+    h.sched <- (outcome.Engine.yields_performed, outcome.Engine.yields_elided)
+  end
+  else begin
+    let nnodes = Config.nnodes cfg in
+    let shard_of_node n = n * shards / nnodes in
+    let shard_of p = shard_of_node (Machine.node_of m p) in
+    m.Machine.sharded <- true;
+    (match m.Machine.observer with
+    | None -> ()
+    | Some o ->
+      m.Machine.observer <- Some (Observer.synchronized (Mutex.create ()) o));
+    Network.set_sharding m.Machine.net ~shards ~shard_of;
+    let shard_procs = Array.make shards [] in
+    for p = cfg.Config.nprocs - 1 downto 0 do
+      shard_procs.(shard_of p) <- p :: shard_procs.(shard_of p)
+    done;
+    let shard_nodes = Array.make shards [] in
+    for n = nnodes - 1 downto 0 do
+      shard_nodes.(shard_of_node n) <- n :: shard_nodes.(shard_of_node n)
+    done;
+    let outcome, stats =
+      Engine.run_sharded ~nprocs:cfg.Config.nprocs ~shards ~shard_of
+        ~max_cycles:cfg.Config.max_cycles
+        ~arrival_hint:(Machine.earliest_arrival m)
+        ~lookahead:(lookahead_matrix m)
+        ~drain:(fun s -> Network.drain_shard m.Machine.net ~shard:s)
+        ~cross_sent:(fun () -> Network.cross_sent m.Machine.net)
+        ~quiet:(fun s ->
+          Machine.shard_quiet m ~procs:shard_procs.(s) ~nodes:shard_nodes.(s))
+        ~on_quiesced:(fun () -> Atomic.set m.Machine.quiesced true)
+        ~clock:Unix.gettimeofday
+          (* Parked-shard backoff: spin briefly (cross-shard hand-offs
+             are usually tens of cycles away), then yield the core to
+             the OS scheduler. Crucial when shards outnumber host cores
+             — a spinning parked shard would otherwise eat the working
+             shard's whole timeslice between hand-offs. Host-time
+             policy only; virtual time never sees it. *)
+        ~park:(fun consec ->
+          if consec < 200 then Domain.cpu_relax () else Unix.sleepf 50e-6)
+        make_body
+    in
+    m.Machine.sharded <- false;
+    h.sched <- (outcome.Engine.yields_performed, outcome.Engine.yields_elided);
+    h.shard_info <- Some stats;
+    (* The per-barrier sanitizer sweep is skipped while sharded (it
+       reads every shard's state); make up for it with one sweep over
+       the joined, quiescent machine. *)
+    if cfg.Config.sanitize > 0 then
+      match Inspect.report m with
+      | [] -> ()
+      | vs -> raise (Inspect.Violation vs)
+  end
 
 let run_controlled ~choose h body =
   assert (not h.ran);
@@ -236,6 +326,95 @@ module Batch = struct
     obs_store ctx ~addr ~len:8
 end
 
+(* Access programs (§3.4.1 batched checks taken to their limit): a
+   per-block access sequence compiled once into a flat int array and
+   interpreted in a tight loop, replacing per-access closure dispatch on
+   the batch hit path. Two interpreters: with an observer installed the
+   per-op loop charges and fires hooks exactly as the equivalent [Batch]
+   calls would (cycle- and event-identical); without one, memory traffic
+   runs back-to-back and the whole program's cycles are charged in one
+   [Protocol.charge] — same total, same virtual finish time, no
+   mid-program scheduling points. The fusion leans on the batch
+   contract: nothing may race with the batched ranges for the batch's
+   duration, so nobody can observe the intermediate timing. *)
+module Prog = struct
+  type t = { code : int array; regs : float array }
+
+  (* Opcodes, stride 4: op, a, b, c. [b] selects the base address bound
+     at [run] time (0 -> base0, 1 -> base1); [c] is a byte offset. *)
+  let op_load = 0 (* regs.(a) <- float at base(b) + c *)
+  let op_store = 1 (* float at base(b) + c <- regs.(a) *)
+  let op_fms = 2 (* regs.(a) <- regs.(a) -. s *. regs.(b) *)
+  let op_charge = 3 (* charge a cycles *)
+
+  let fms_row ~len ~cost =
+    (* dst[c] <- dst[c] - s * src[c] for c in [0, len): the daxpy inner
+       row of blocked LU. Ops are emitted in the evaluation order of the
+       closure formulation (src load, dst load, multiply-subtract, dst
+       store, flop charge) so the observed interpreter replays its event
+       stream exactly. *)
+    let code = Array.make (len * 20) 0 in
+    let k = ref 0 in
+    let emit op a b c =
+      code.(!k) <- op;
+      code.(!k + 1) <- a;
+      code.(!k + 2) <- b;
+      code.(!k + 3) <- c;
+      k := !k + 4
+    in
+    for j = 0 to len - 1 do
+      let off = 8 * j in
+      emit op_load 0 1 off;
+      emit op_load 1 0 off;
+      emit op_fms 1 0 0;
+      emit op_store 1 0 off;
+      emit op_charge cost 0 0
+    done;
+    { code; regs = Array.make 2 0.0 }
+
+  let run ctx t ~s ~base0 ~base1 =
+    assert (ctx.in_batch);
+    let code = t.code and regs = t.regs in
+    let n = Array.length code in
+    match (Protocol.machine ctx.p).Machine.observer with
+    | None ->
+      let img = Protocol.node_image ctx.p in
+      let total = ref 0 in
+      let k = ref 0 in
+      while !k < n do
+        (match code.(!k) with
+        | 0 ->
+          let base = if code.(!k + 2) = 0 then base0 else base1 in
+          regs.(code.(!k + 1)) <- Image.load_float img (base + code.(!k + 3));
+          total := !total + Batch.raw_cost
+        | 1 ->
+          let base = if code.(!k + 2) = 0 then base0 else base1 in
+          Image.store_float img (base + code.(!k + 3)) regs.(code.(!k + 1));
+          total := !total + Batch.raw_cost
+        | 2 -> regs.(code.(!k + 1)) <- regs.(code.(!k + 1)) -. (s *. regs.(code.(!k + 2)))
+        | _ -> total := !total + code.(!k + 1))
+        ;
+        k := !k + 4
+      done;
+      (* One fused charge; a [Cycle_limit] for a budget exhausted
+         mid-program is raised here, at the program's end clock. *)
+      Protocol.charge ctx.p !total
+    | Some _ ->
+      let k = ref 0 in
+      while !k < n do
+        (match code.(!k) with
+        | 0 ->
+          let base = if code.(!k + 2) = 0 then base0 else base1 in
+          regs.(code.(!k + 1)) <- Batch.load_float ctx (base + code.(!k + 3))
+        | 1 ->
+          let base = if code.(!k + 2) = 0 then base0 else base1 in
+          Batch.store_float ctx (base + code.(!k + 3)) regs.(code.(!k + 1))
+        | 2 -> regs.(code.(!k + 1)) <- regs.(code.(!k + 1)) -. (s *. regs.(code.(!k + 2)))
+        | _ -> Protocol.charge ctx.p code.(!k + 1));
+        k := !k + 4
+      done
+end
+
 let lock ctx l =
   assert (not ctx.in_batch);
   Protocol.lock_acquire ctx.p l
@@ -261,3 +440,5 @@ let downgrade_messages h =
 
 let messages_local h = Network.sent_local h.m.Machine.net
 let messages_remote h = Network.sent_remote h.m.Machine.net
+let shards_used h = h.shards_used
+let shard_stats h = h.shard_info

@@ -49,12 +49,24 @@ val poke_int : handle -> int -> int -> unit
 
 type ctx
 
-val run : ?run_ahead:bool -> handle -> (ctx -> unit) -> unit
+val run : ?run_ahead:bool -> ?shards:int -> handle -> (ctx -> unit) -> unit
 (** Execute the body on every simulated processor and drain the
     protocol. May be called once per handle. [run_ahead] (default
     [true]) enables the slack-based run-ahead scheduler; disabling it
     forces a full scheduler round-trip at every charged scheduling
-    point, which must produce the identical simulation. *)
+    point, which must produce the identical simulation.
+
+    [shards] overrides [Config.shards] for this run (same encoding:
+    0 = auto). With more than one shard the run executes as a
+    conservative parallel discrete-event simulation across OCaml 5
+    domains — one per group of coherence nodes, see
+    {!Shasta_sim.Engine.run_sharded} — whose merged event stream and
+    every simulated-time result (cycles, stats, messages, memory) are
+    bit-identical to the sequential scheduler; only host wall time and
+    the yield counters of {!sched_counts} differ. The request is capped
+    at the node count and forced to 1 when [run_ahead] is off, fault
+    injection is configured, or [sanitize >= 2] (the race detector needs
+    the sequential merged event order). *)
 
 val run_controlled : choose:(int array -> int) -> handle -> (ctx -> unit) -> unit
 (** {!run} under an external scheduler, for the litmus model checker:
@@ -98,6 +110,35 @@ module Batch : sig
   val store_int : ctx -> int -> int -> unit
 end
 
+(** {1 Access programs}
+
+    A hot per-block access sequence compiled once into a flat int array
+    and interpreted in a tight loop inside a {!batch} — the §3.4.1
+    batched-check idea applied to the simulator's own hot path,
+    replacing per-access closure dispatch. The interpretation is
+    cycle-identical to the equivalent sequence of [Batch] calls: with an
+    observer installed every op charges and fires its hook individually;
+    without one the program's cycles are charged in a single fused
+    [compute]-style charge at the end (same total and finish time; a
+    [Cycle_limit] that would have fired mid-program fires at the
+    program's end clock). Programs are per-processor scratch (they carry
+    a register file) — build one per [ctx], not shared across bodies. *)
+module Prog : sig
+  type t
+
+  val fms_row : len:int -> cost:int -> t
+  (** The daxpy row kernel [dst.(c) <- dst.(c) -. s *. src.(c)] for
+      [c] in [0, len), charging [cost] cycles of compute per element —
+      ops emitted in the evaluation order of the closure formulation
+      (src load, dst load, multiply-subtract, dst store, charge). *)
+
+  val run : ctx -> t -> s:float -> base0:int -> base1:int -> unit
+  (** Interpret a program with scalar [s] and the two base addresses
+      bound ([base0] = dst row, [base1] = src row for {!fms_row}). Must
+      run inside a {!batch} whose ranges cover every address the
+      program touches. *)
+end
+
 (** {1 Synchronization} *)
 
 val lock : ctx -> int -> unit
@@ -128,4 +169,15 @@ val downgrade_messages : handle -> int
 val sched_counts : handle -> int * int
 (** (performed, elided) yield-effect counts of this handle's {!run} —
     the per-run scheduler observability of {!Shasta_sim.Engine.outcome}.
-    [(0, 0)] before [run]. *)
+    [(0, 0)] before [run]. Under a sharded run the split between
+    performed and elided depends on host timing (parking at the
+    cross-shard bound re-publishes horizons); treat as diagnostics
+    only. *)
+
+val shards_used : handle -> int
+(** Shards the {!run} actually executed with, after auto resolution and
+    the forced-sequential fallbacks. [0] before [run]. *)
+
+val shard_stats : handle -> Shasta_sim.Engine.shard_stats option
+(** Per-shard wall/steps/spins of a sharded {!run}; [None] before [run]
+    or when it ran sequentially. *)

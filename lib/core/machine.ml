@@ -54,11 +54,13 @@ type t = {
   dirs : Directory.t array;
   locks : (int, lock_state) Hashtbl.t;
   barriers : (int, barrier_state) Hashtbl.t;
-  barrier_local : (int * int, barrier_state) Hashtbl.t;
+  barrier_local : (int, barrier_state) Hashtbl.t array;
   procs : proc_state array;
   mutable next_lock : int;
   mutable next_barrier : int;
   mutable observer : Observer.t option;
+  mutable sharded : bool;
+  quiesced : bool Atomic.t;
 }
 
 let create (cfg : Config.t) =
@@ -113,11 +115,13 @@ let create (cfg : Config.t) =
     dirs = Array.init cfg.Config.nprocs (fun _ -> Directory.create ());
     locks = Hashtbl.create 64;
     barriers = Hashtbl.create 8;
-    barrier_local = Hashtbl.create 32;
+    barrier_local = Array.init (Config.nnodes cfg) (fun _ -> Hashtbl.create 8);
     procs = Array.init cfg.Config.nprocs make_proc;
     next_lock = 0;
     next_barrier = 0;
     observer = None;
+    sharded = false;
+    quiesced = Atomic.make false;
   }
 
 let add_observer t o =
@@ -179,7 +183,32 @@ let iter_blocks t ~addr ~len f =
 let alloc t ?block_size:bs ?home size =
   let addr = Alloc.alloc t.heap ?block_size:bs size in
   (match home with
-  | Some proc -> Home_map.set_home t.homes t.layout ~addr ~len:size ~proc
+  | Some proc ->
+    (* Homes live at page granularity. An object that starts mid-page
+       shares its first page with the tail of an earlier allocation;
+       pinning it to a different home would silently re-home those
+       earlier bytes and orphan their directory entries (the livelock
+       shape PR 5's flight recorder diagnosed). Pinning to the page's
+       current home is idempotent and allowed (several small objects
+       deliberately packed onto one pinned page); a trailing partial
+       page is harmless too — the next allocation inherits the pin
+       consistently — so only a conflicting leading boundary raises.
+       Callers pad the preceding allocation to a page multiple or
+       allocate the pinned object first. *)
+    let ps = t.layout.Layout.page_size in
+    (if addr mod ps <> 0 then
+       let lead_home =
+         Home_map.home_of_line t.homes t.layout
+           (Layout.line_of t.layout (addr / ps * ps))
+       in
+       if lead_home <> proc then
+         invalid_arg
+           (Printf.sprintf
+              "Machine.alloc ~home:%d: allocation at 0x%x starts mid-page \
+               (page size %d bytes, page homed at %d); pinning would re-home \
+               earlier objects on the shared page"
+              proc addr ps lead_home));
+    Home_map.set_home t.homes t.layout ~addr ~len:size ~proc
   | None -> ());
   iter_blocks t ~addr ~len:size (fun b -> init_block_ownership t ~block:b);
   addr
@@ -243,6 +272,29 @@ let quiescent t =
       t.dirs
   in
   procs_done && net_empty && nodes_idle && dirs_idle
+
+(* [quiescent] restricted to one shard: reads only the given processors'
+   flags, queues and directories and the given nodes' tables, all owned
+   by the calling shard's domain. The finished-flag check comes first so
+   the common mid-run probe is O(1). *)
+let shard_quiet t ~procs ~nodes =
+  List.for_all
+    (fun p -> t.procs.(p).finished && Network.queued t.net ~dst:p = 0)
+    procs
+  && List.for_all
+       (fun n ->
+         let ns = t.nodes.(n) in
+         Miss_table.count ns.misses = 0 && Downgrade.count ns.downgrades = 0)
+       nodes
+  && List.for_all
+       (fun p ->
+         let idle = ref true in
+         Directory.iter
+           (fun _ e ->
+             if e.Directory.busy || e.Directory.queue <> [] then idle := false)
+           t.dirs.(p);
+         !idle)
+       procs
 
 let parallel_cycles t =
   Array.fold_left (fun acc p -> max acc p.app_finish_cycles) 0 t.procs

@@ -65,15 +65,26 @@ type t = {
   dirs : Directory.t array;  (** per processor (home side) *)
   locks : (int, lock_state) Hashtbl.t;
   barriers : (int, barrier_state) Hashtbl.t;
-  barrier_local : (int * int, barrier_state) Hashtbl.t;
-      (** per (barrier, node) combining state for the hierarchical
-          barrier extension *)
+  barrier_local : (int, barrier_state) Hashtbl.t array;
+      (** per-coherence-node combining state for the hierarchical
+          barrier extension, keyed by barrier id. One table per node
+          (rather than one (barrier, node)-keyed table) so that under
+          the sharded scheduler each shard touches only its own nodes'
+          tables — no cross-domain Hashtbl mutation. *)
   procs : proc_state array;
   mutable next_lock : int;
   mutable next_barrier : int;
   mutable observer : Observer.t option;
       (** analysis hooks; [None] (the default) makes every hook site a
           no-op. Install before the parallel phase starts. *)
+  mutable sharded : bool;
+      (** true while the sharded scheduler is driving this machine:
+          gates host-order-dependent conveniences (the per-barrier
+          sanitizer sweep, the sequential drain predicate) that would
+          race or skew across domains *)
+  quiesced : bool Atomic.t;
+      (** set exactly once by the sharded scheduler's termination
+          detector; the sharded drain loop spins on it *)
 }
 
 val create : Config.t -> t
@@ -102,7 +113,14 @@ val block_size : t -> int -> int
 val alloc : t -> ?block_size:int -> ?home:int -> int -> int
 (** Allocate shared memory (setup phase). The home's node starts with an
     exclusive, zero-initialized copy; all other nodes start invalid with
-    the flag pattern stamped in. [home] pins every page of the object. *)
+    the flag pattern stamped in. [home] pins every page of the object;
+    because homes live at page granularity, raises [Invalid_argument] if
+    the allocation starts mid-page on a page whose current home differs
+    from [home] — pinning would silently re-home the tail of the
+    previous allocation sharing that page and orphan its directory
+    entries. (Packing several objects onto one page pinned to the {e
+    same} home is idempotent and allowed.) Pad the preceding allocation
+    to a page multiple, or allocate the pinned object first. *)
 
 val place : t -> addr:int -> len:int -> proc:int -> unit
 (** Re-home an address range (setup phase only): pins the page-aligned
@@ -120,6 +138,11 @@ val quiescent : t -> bool
 (** No queued or in-flight messages, no outstanding misses, downgrades,
     or busy directory entries — used to drain the run after all
     application code has finished. *)
+
+val shard_quiet : t -> procs:int list -> nodes:int list -> bool
+(** {!quiescent} restricted to one shard's processors and coherence
+    nodes — the sharded scheduler's per-shard quiet predicate. Reads
+    only state owned by the calling shard's domain. *)
 
 val parallel_cycles : t -> int
 (** Maximum over processors of the cycle count at which the application

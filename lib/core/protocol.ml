@@ -362,13 +362,13 @@ and handle_message ctx ~src msg =
       && ctx.m.Machine.cfg.Config.clustering > 1
     then begin
       (* Publish the release through the node's shared memory. *)
-      let key = (barrier, node ctx) in
+      let tbl = ctx.m.Machine.barrier_local.(node ctx) in
       let bs =
-        match Hashtbl.find_opt ctx.m.Machine.barrier_local key with
+        match Hashtbl.find_opt tbl barrier with
         | Some bs -> bs
         | None ->
           let bs = { Machine.arrived = 0; generation = 0 } in
-          Hashtbl.replace ctx.m.Machine.barrier_local key bs;
+          Hashtbl.replace tbl barrier bs;
           bs
       in
       bs.Machine.generation <- generation
@@ -1403,19 +1403,23 @@ let lock_release ctx lock =
       deliver ctx (Machine.lock_home ctx.m lock) (Msg.Lock_release { lock }))
 
 let local_barrier ctx barrier =
-  let key = (barrier, node ctx) in
-  match Hashtbl.find_opt ctx.m.Machine.barrier_local key with
+  let tbl = ctx.m.Machine.barrier_local.(node ctx) in
+  match Hashtbl.find_opt tbl barrier with
   | Some bs -> bs
   | None ->
     let bs = { Machine.arrived = 0; generation = 0 } in
-    Hashtbl.replace ctx.m.Machine.barrier_local key bs;
+    Hashtbl.replace tbl barrier bs;
     bs
 
 (* SHASTA_SANITIZE >= 1: sweep the whole-machine invariants every time a
    processor leaves a barrier. The sweep charges no cycles and runs only
-   between scheduling points, so simulated time is unchanged. *)
+   between scheduling points, so simulated time is unchanged. Skipped
+   under the sharded scheduler: the sweep reads every node's tables, and
+   other shards are mid-flight in host time even though their effects
+   are provably invisible in virtual time — Dsm.run instead sweeps once
+   after the shards join. *)
 let barrier_sanitize ctx =
-  if ctx.m.Machine.cfg.Config.sanitize > 0 then
+  if ctx.m.Machine.cfg.Config.sanitize > 0 && not ctx.m.Machine.sharded then
     match Inspect.report ctx.m with
     | [] -> ()
     | vs -> raise (Inspect.Violation vs)
@@ -1466,7 +1470,20 @@ let drain ctx =
   ctx.ps.Machine.finished <- true;
   ctx.ps.Machine.app_finish_cycles <- Engine.now ctx.eng;
   let gap = ctx.t.Timing.stall_gap in
-  while not (Machine.quiescent ctx.m) do
-    poll ctx;
-    Engine.advance ctx.eng (gap + Engine.idle_skip ctx.eng ~quantum:gap)
-  done
+  if ctx.m.Machine.sharded then
+    (* [Machine.quiescent] reads every shard's queues and tables, which
+       is racy across domains; the sharded scheduler's termination
+       detector publishes the same condition through [quiesced] (set
+       exactly once, when every shard is quiet and every cross-shard
+       send is drained). The final clocks of drained processors — never
+       part of the simulation's results — depend on when quiescence is
+       detected in host time. *)
+    while not (Atomic.get ctx.m.Machine.quiesced) do
+      poll ctx;
+      Engine.advance ctx.eng (gap + Engine.idle_skip ctx.eng ~quantum:gap)
+    done
+  else
+    while not (Machine.quiescent ctx.m) do
+      poll ctx;
+      Engine.advance ctx.eng (gap + Engine.idle_skip ctx.eng ~quantum:gap)
+    done

@@ -147,6 +147,71 @@ let test_batch_counts_checks () =
   Alcotest.(check int) "one check per covered line" 4
     (Dsm.aggregate_stats h).Stats.checks
 
+(* Access-program parity: interpreting a compiled [Dsm.Prog] row must be
+   indistinguishable in virtual time from the closure formulation it
+   replaces — same memory, same finish cycles, same statistics, and
+   (with an observer installed) the same per-op hook stream. *)
+let daxpy_run ~use_prog ~record =
+  let h = smp () in
+  let n = 16 in
+  let s = 2.0 in
+  let dst = Dsm.alloc_floats h ~block_size:128 n in
+  let src = Dsm.alloc_floats h ~block_size:128 n in
+  for i = 0 to n - 1 do
+    Dsm.poke_float h (dst + (8 * i)) (float_of_int (10 + i));
+    Dsm.poke_float h (src + (8 * i)) (float_of_int i)
+  done;
+  let events = ref [] in
+  if record then
+    Dsm.add_observer h
+      {
+        Shasta_core.Observer.nil with
+        on_load =
+          (fun ~proc ~addr ~len ~now ->
+            events := (`L, proc, addr, len, now) :: !events);
+        on_store =
+          (fun ~proc ~addr ~len ~now ->
+            events := (`S, proc, addr, len, now) :: !events);
+      };
+  Dsm.run h (fun ctx ->
+      if Dsm.pid ctx = 0 then
+        let prog = Dsm.Prog.fms_row ~len:n ~cost:6 in
+        Dsm.batch ctx
+          [ (dst, n * 8, Dsm.W); (src, n * 8, Dsm.R) ]
+          (fun () ->
+            if use_prog then Dsm.Prog.run ctx prog ~s ~base0:dst ~base1:src
+            else
+              for c = 0 to n - 1 do
+                let v = Dsm.Batch.load_float ctx (src + (8 * c)) in
+                let d = Dsm.Batch.load_float ctx (dst + (8 * c)) in
+                Dsm.Batch.store_float ctx (dst + (8 * c)) (d -. (s *. v));
+                Dsm.compute ctx 6
+              done));
+  let vals = Array.init n (fun i -> Dsm.peek_float h (dst + (8 * i))) in
+  (vals, Dsm.parallel_cycles h, Dsm.aggregate_stats h, List.rev !events)
+
+let check_parity ~record () =
+  let pv, pc, ps, pe = daxpy_run ~use_prog:true ~record in
+  let cv, cc, cs, ce = daxpy_run ~use_prog:false ~record in
+  Alcotest.(check (array (float 0.0))) "values" cv pv;
+  Alcotest.(check int) "finish cycles" cc pc;
+  Alcotest.(check bool) "stats" true (cs = ps);
+  Alcotest.(check bool) "hook streams" true (ce = pe);
+  if record then
+    Alcotest.(check int) "per-op hooks fired" (16 * 3) (List.length pe);
+  (* Sanity: the daxpy actually ran — dst_i = (10+i) - 2*i. *)
+  Alcotest.(check (float 0.0)) "kernel result" (10.0 -. 5.0) pv.(5)
+
+let test_prog_parity_unobserved () = check_parity ~record:false ()
+let test_prog_parity_observed () = check_parity ~record:true ()
+
+let test_prog_observed_matches_unobserved_cycles () =
+  (* The fused unobserved charge must land on the same finish clock as
+     the observed per-op charges. *)
+  let _, cyc_obs, _, _ = daxpy_run ~use_prog:true ~record:true in
+  let _, cyc_un, _, _ = daxpy_run ~use_prog:true ~record:false in
+  Alcotest.(check int) "same finish cycles" cyc_un cyc_obs
+
 let () =
   Alcotest.run "batch"
     [
@@ -165,5 +230,14 @@ let () =
             test_batch_reader_vs_writer;
           Alcotest.test_case "clean after quiescence" `Quick
             test_no_deferred_flags_after_quiescence;
+        ] );
+      ( "access programs",
+        [
+          Alcotest.test_case "prog parity (unobserved)" `Quick
+            test_prog_parity_unobserved;
+          Alcotest.test_case "prog parity (observed)" `Quick
+            test_prog_parity_observed;
+          Alcotest.test_case "observed/unobserved same cycles" `Quick
+            test_prog_observed_matches_unobserved_cycles;
         ] );
     ]

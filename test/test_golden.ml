@@ -32,7 +32,7 @@ let configs = [ (Config.Base, 4, 1); (Config.Smp, 8, 4) ]
 
 let variant_name = function Config.Base -> "base" | Config.Smp -> "smp"
 
-let run_one ?run_ahead app ~variant ~nprocs ~clustering =
+let run_one ?run_ahead ?shards app ~variant ~nprocs ~clustering =
   let maker = Registry.find app in
   let inst = maker ~scale () in
   let heap = max (1 lsl 22) inst.App.heap_bytes in
@@ -40,7 +40,7 @@ let run_one ?run_ahead app ~variant ~nprocs ~clustering =
   let cfg = Config.create ~variant ~nprocs ~clustering ~heap_bytes:heap () in
   let h = Dsm.create cfg in
   let body, verify = inst.App.setup h in
-  Dsm.run ?run_ahead h body;
+  Dsm.run ?run_ahead ?shards h body;
   let v = verify h in
   if not v.App.ok then
     Alcotest.failf "%s failed verification: %s" app v.App.detail;
@@ -95,6 +95,16 @@ let test_run_ahead_equivalent () =
     (summary ~run_ahead:false ())
     (summary ~run_ahead:true ())
 
+let test_sharded_equivalent () =
+  (* The conservative-PDES scheduler must reproduce the sequential
+     summary line exactly — finish clocks, per-proc cycles and all
+     machine counters. One app here (the full matrix sharded is costly
+     on a single-core host); CI additionally diffs the whole fig3
+     experiment at --shards 1 vs 2. *)
+  check_lines "sharded scheduler agrees with sequential"
+    [ run_one "lu" ~variant:Config.Base ~nprocs:4 ~clustering:1 ]
+    [ run_one ~shards:2 "lu" ~variant:Config.Base ~nprocs:4 ~clustering:1 ]
+
 let () =
   match Sys.getenv_opt "SHASTA_GOLDEN_WRITE" with
   | Some path ->
@@ -113,5 +123,7 @@ let () =
             Alcotest.test_case "snapshot" `Quick test_matches_snapshot;
             Alcotest.test_case "run-ahead equivalent" `Quick
               test_run_ahead_equivalent;
+            Alcotest.test_case "sharded equivalent" `Quick
+              test_sharded_equivalent;
           ] );
       ]

@@ -101,6 +101,43 @@ let test_poke_peek () =
   Alcotest.(check (float 0.0)) "peek float" 2.5 (Dsm.peek_float h (a + 8));
   Alcotest.(check int) "peek int" 77 (Dsm.peek_int h (a + 16))
 
+(* Regression for the PR-5 flight-recorder livelock shape: a second
+   [~home] allocation landing mid-page on a page homed elsewhere would
+   silently re-home the earlier object's bytes and orphan its directory
+   entries. The machine must refuse the conflicting pin at allocation
+   time — and must keep allowing deliberate same-home packing (several
+   small blocks on one pinned page, as the trace tests do). *)
+let test_home_footgun_conflict () =
+  let m = machine () in
+  let a = Machine.alloc m ~block_size:64 ~home:5 64 in
+  let ps = m.Machine.layout.Layout.page_size in
+  Alcotest.(check bool) "first alloc mid-page follows" true (ps > 64);
+  match Machine.alloc m ~block_size:64 ~home:3 64 with
+  | _ -> Alcotest.fail "conflicting mid-page ~home pin must raise"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "message names the mid-page conflict" true
+      (String.length msg > 0
+      && String.sub msg 0 (min 17 (String.length msg)) = "Machine.alloc ~ho");
+    (* The refused pin must not have re-homed the earlier object. *)
+    Alcotest.(check int) "earlier object keeps its home" 5
+      (Machine.home_of_block m a)
+
+let test_home_footgun_same_home_pack () =
+  let m = machine () in
+  let a = Machine.alloc m ~block_size:64 ~home:4 64 in
+  let b = Machine.alloc m ~block_size:64 ~home:4 64 in
+  Alcotest.(check int) "first packed block homed" 4 (Machine.home_of_block m a);
+  Alcotest.(check int) "second packed block homed" 4 (Machine.home_of_block m b)
+
+let test_home_footgun_page_aligned () =
+  let m = machine () in
+  let ps = m.Machine.layout.Layout.page_size in
+  let a = Machine.alloc m ~block_size:64 ~home:5 ps in
+  (* The next allocation starts on a fresh page: any home is fine. *)
+  let b = Machine.alloc m ~block_size:64 ~home:3 64 in
+  Alcotest.(check int) "full-page pin kept" 5 (Machine.home_of_block m a);
+  Alcotest.(check int) "fresh-page pin kept" 3 (Machine.home_of_block m b)
+
 let () =
   Alcotest.run "machine"
     [
@@ -123,5 +160,14 @@ let () =
           Alcotest.test_case "sync allocation" `Quick test_sync_allocation;
           Alcotest.test_case "quiescence" `Quick test_fresh_machine_quiescent;
           Alcotest.test_case "poke/peek" `Quick test_poke_peek;
+        ] );
+      ( "home footgun",
+        [
+          Alcotest.test_case "conflicting mid-page pin raises" `Quick
+            test_home_footgun_conflict;
+          Alcotest.test_case "same-home packing allowed" `Quick
+            test_home_footgun_same_home_pack;
+          Alcotest.test_case "page-aligned pins unaffected" `Quick
+            test_home_footgun_page_aligned;
         ] );
     ]
