@@ -133,7 +133,9 @@ let daxpy_workload use_prog () =
           Dsm.batch ctx
             [ (dst, n * 8, Dsm.W); (src, n * 8, Dsm.R) ]
             (fun () ->
-              if use_prog then Dsm.Prog.run ctx prog ~s ~base0:dst ~base1:src
+              if use_prog then
+                Dsm.Prog.run ctx prog ~s ~aux:Dsm.Prog.no_aux ~base0:dst
+                  ~base1:src ~base2:0
               else
                 for c = 0 to n - 1 do
                   let v = Dsm.Batch.load_float ctx (src + (8 * c)) in

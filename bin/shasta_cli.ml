@@ -115,6 +115,26 @@ let report_targets target_names quick jobs shards =
       (List.length selected)
       (Unix.gettimeofday () -. t0)
       jobs;
+    (* Inline-check fast-path observability, per application over every
+       cached run: how many checks the fused first-level hit check
+       resolved without protocol dispatch, and how many accesses were
+       issued by compiled access programs. Stderr, like all progress
+       output — stdout stays byte-identical across toggles. *)
+    (match Shasta_experiments.Runner.fastpath_by_app () with
+    | [] -> ()
+    | rows ->
+      Printf.eprintf "[fastpath %s: per-app fused-hit rate / prog coverage]\n"
+        (if Shasta_core.Config.env_fastpath () then "on" else "off");
+      List.iter
+        (fun (app, (checks, fast_hits, accesses, prog_accesses)) ->
+          let rate den num =
+            if den = 0 then 0.0 else float_of_int num /. float_of_int den
+          in
+          Printf.eprintf "[  %-10s hit %.3f (%d/%d)  prog %.3f (%d/%d)]\n" app
+            (rate checks fast_hits) fast_hits checks
+            (rate accesses prog_accesses) prog_accesses accesses)
+        rows;
+      Printf.eprintf "%!");
     0
 
 (* Protocol analyses (lib/check): the litmus model checker over the

@@ -186,7 +186,13 @@ let integrate mem g i =
     mem.work (4 * flop_cycles)
   done
 
-let run_step mem g ~lo ~hi ~build ~sync =
+(* [integrate] can be overridden with an equivalent per-body routine —
+   the DSM body substitutes a compiled access program; the sequential
+   reference keeps the closure form. *)
+let run_step ?integrate:integ mem g ~lo ~hi ~build ~sync =
+  let integ =
+    match integ with None -> fun i -> integrate mem g i | Some f -> f
+  in
   if build then begin
     let root = build_tree mem g in
     compute_masses mem g root
@@ -200,7 +206,7 @@ let run_step mem g ~lo ~hi ~build ~sync =
   done;
   sync ();
   for i = lo to hi - 1 do
-    integrate mem g i
+    integ i
   done;
   sync ()
 
@@ -275,8 +281,14 @@ let instance ?(vg = false) ?(scale = 1.0) () =
               work = (fun c -> Dsm.compute ctx c);
             }
           in
+          let iprog = Kernels.barnes_integrate ~dt ~flop_cycles in
+          let integrate i =
+            Dsm.Prog.run ctx iprog ~s:0.0 ~aux:Dsm.Prog.no_aux
+              ~base0:(addr_of_slot (body_slot g i 0))
+              ~base1:0 ~base2:0
+          in
           for _s = 1 to steps do
-            run_step mem g ~lo ~hi ~build:(p = 0)
+            run_step ~integrate mem g ~lo ~hi ~build:(p = 0)
               ~sync:(fun () -> Dsm.barrier ctx bar)
           done
         in

@@ -25,19 +25,9 @@ let binom =
   done;
   fun n k -> if k < 0 || k > n then 0.0 else t.(n).(k)
 
-(* Complex helpers over (re, im) pairs packed in float arrays. *)
-let cadd (ar, ai) (br, bi) = (ar +. br, ai +. bi)
-let cmul (ar, ai) (br, bi) = ((ar *. br) -. (ai *. bi), (ar *. bi) +. (ai *. br))
-let cscale s (ar, ai) = (s *. ar, s *. ai)
-let cdiv a (br, bi) =
-  let d = (br *. br) +. (bi *. bi) in
-  cmul a (br /. d, -.bi /. d)
-let clog (ar, ai) = (0.5 *. Float.log ((ar *. ar) +. (ai *. ai)), Float.atan2 ai ar)
-let get c k = (c.(2 * k), c.((2 * k) + 1))
-let set c k (r, i) =
-  c.(2 * k) <- r;
-  c.((2 * k) + 1) <- i
-let acc c k v = set c k (cadd (get c k) v)
+(* Complex values are (re, im) pairs packed in float arrays; the
+   expansion operators below keep them in plain float locals (see the
+   comment before [p2m]). *)
 
 (* Abstract memory so the DSM run and the sequential reference share the
    algorithm. Vectors model batched access to whole expansions. *)
@@ -129,6 +119,14 @@ let interaction_list l b =
 
 (* --- Expansion operators (log kernel). --- *)
 
+(* The expansion operators below keep their complex arithmetic in plain
+   float locals (two per complex value) instead of the (re, im) tuples
+   of the helpers above: the O(p^2) inner loops dominate the app's host
+   time and a tuple per cmul/cadd made them allocation-bound. Each
+   expression is the literal unfolding of the corresponding helper
+   chain, so the computed values — and therefore the simulated run —
+   are bit-identical. *)
+
 let p2m mem g b =
   let cx, cy = box_center levels b in
   let c = Array.make coeff_floats 0.0 in
@@ -138,12 +136,18 @@ let p2m mem g b =
     let x = mem.loadf (body_slot g i 0)
     and y = mem.loadf (body_slot g i 1)
     and q = mem.loadf (body_slot g i 2) in
-    let z = (x -. cx, y -. cy) in
-    acc c 0 (q, 0.0);
-    let zk = ref (1.0, 0.0) in
+    let zr = x -. cx and zi = y -. cy in
+    c.(0) <- c.(0) +. q;
+    c.(1) <- c.(1) +. 0.0;
+    let zkr = ref 1.0 and zki = ref 0.0 in
     for k = 1 to p_order do
-      zk := cmul !zk z;
-      acc c k (cscale (-.q /. float_of_int k) !zk);
+      let nr = (!zkr *. zr) -. (!zki *. zi)
+      and ni = (!zkr *. zi) +. (!zki *. zr) in
+      zkr := nr;
+      zki := ni;
+      let s = -.q /. float_of_int k in
+      c.(2 * k) <- c.(2 * k) +. (s *. !zkr);
+      c.((2 * k) + 1) <- c.((2 * k) + 1) +. (s *. !zki);
       mem.work (6 * flop_cycles)
     done
   done;
@@ -160,20 +164,36 @@ let m2m mem g l b =
       let cb = ((((2 * iy) + dy) * side (l + 1)) + (2 * ix) + dx) in
       let a = mem.read_vec (mpole_slot g (l + 1) cb) coeff_floats in
       let ccx, ccy = box_center (l + 1) cb in
-      let d = (ccx -. cx, ccy -. cy) in
-      let a0 = get a 0 in
-      acc out 0 a0;
-      let dl = ref (1.0, 0.0) in
+      let dr = ccx -. cx and di = ccy -. cy in
+      let a0r = a.(0) and a0i = a.(1) in
+      out.(0) <- out.(0) +. a0r;
+      out.(1) <- out.(1) +. a0i;
+      let dlr = ref 1.0 and dli = ref 0.0 in
       for ll = 1 to p_order do
-        dl := cmul !dl d;
+        let nr = (!dlr *. dr) -. (!dli *. di)
+        and ni = (!dlr *. di) +. (!dli *. dr) in
+        dlr := nr;
+        dli := ni;
         (* -a0 d^l / l *)
-        acc out ll (cscale (-1.0 /. float_of_int ll) (cmul a0 !dl));
-        let dpow = ref (1.0, 0.0) in
+        let s = -1.0 /. float_of_int ll in
+        let mr = (a0r *. !dlr) -. (a0i *. !dli)
+        and mi = (a0r *. !dli) +. (a0i *. !dlr) in
+        out.(2 * ll) <- out.(2 * ll) +. (s *. mr);
+        out.((2 * ll) + 1) <- out.((2 * ll) + 1) +. (s *. mi);
+        let dpr = ref 1.0 and dpi = ref 0.0 in
         (* sum_{k=1..l} a_k d^{l-k} C(l-1,k-1), accumulate from k=l down *)
         for k = ll downto 1 do
           (* d^{l-k}: when k = l this is 1; we build it incrementally. *)
-          acc out ll (cscale (binom (ll - 1) (k - 1)) (cmul (get a k) !dpow));
-          dpow := cmul !dpow d;
+          let akr = a.(2 * k) and aki = a.((2 * k) + 1) in
+          let s = binom (ll - 1) (k - 1) in
+          let mr = (akr *. !dpr) -. (aki *. !dpi)
+          and mi = (akr *. !dpi) +. (aki *. !dpr) in
+          out.(2 * ll) <- out.(2 * ll) +. (s *. mr);
+          out.((2 * ll) + 1) <- out.((2 * ll) + 1) +. (s *. mi);
+          let nr = (!dpr *. dr) -. (!dpi *. di)
+          and ni = (!dpr *. di) +. (!dpi *. dr) in
+          dpr := nr;
+          dpi := ni;
           mem.work (8 * flop_cycles)
         done
       done
@@ -184,64 +204,109 @@ let m2m mem g l b =
 let m2l mem g l ~src ~dst out =
   let sx, sy = box_center l src and dx_, dy_ = box_center l dst in
   let a = mem.read_vec (mpole_slot g l src) coeff_floats in
-  let d = (sx -. dx_, sy -. dy_) in
-  let a0 = get a 0 in
+  let dr = sx -. dx_ and di = sy -. dy_ in
+  let a0r = a.(0) and a0i = a.(1) in
   (* c_0 = a0 log(-d) + sum_k a_k (-1)^k / d^k *)
-  let c0 = ref (cmul a0 (clog (cscale (-1.0) d))) in
-  let dk = ref (1.0, 0.0) in
+  let ndr = -1.0 *. dr and ndi = -1.0 *. di in
+  let lgr = 0.5 *. Float.log ((ndr *. ndr) +. (ndi *. ndi))
+  and lgi = Float.atan2 ndi ndr in
+  let c0r = ref ((a0r *. lgr) -. (a0i *. lgi))
+  and c0i = ref ((a0r *. lgi) +. (a0i *. lgr)) in
+  let dkr = ref 1.0 and dki = ref 0.0 in
   for k = 1 to p_order do
-    dk := cmul !dk d;
+    let nr = (!dkr *. dr) -. (!dki *. di)
+    and ni = (!dkr *. di) +. (!dki *. dr) in
+    dkr := nr;
+    dki := ni;
     let sign = if k land 1 = 1 then -1.0 else 1.0 in
-    c0 := cadd !c0 (cscale sign (cdiv (get a k) !dk));
+    let den = (!dkr *. !dkr) +. (!dki *. !dki) in
+    let ibr = !dkr /. den and ibi = -. !dki /. den in
+    let akr = a.(2 * k) and aki = a.((2 * k) + 1) in
+    let qr = (akr *. ibr) -. (aki *. ibi)
+    and qi = (akr *. ibi) +. (aki *. ibr) in
+    c0r := !c0r +. (sign *. qr);
+    c0i := !c0i +. (sign *. qi);
     mem.work (8 * flop_cycles)
   done;
-  acc out 0 !c0;
-  let dl = ref (1.0, 0.0) in
+  out.(0) <- out.(0) +. !c0r;
+  out.(1) <- out.(1) +. !c0i;
+  let dlr = ref 1.0 and dli = ref 0.0 in
   for ll = 1 to p_order do
-    dl := cmul !dl d;
+    let nr = (!dlr *. dr) -. (!dli *. di)
+    and ni = (!dlr *. di) +. (!dli *. dr) in
+    dlr := nr;
+    dli := ni;
     (* -a0 / (l d^l) *)
-    let t = ref (cscale (-1.0 /. float_of_int ll) (cdiv a0 !dl)) in
-    let dk = ref (1.0, 0.0) in
+    let dend = (!dlr *. !dlr) +. (!dli *. !dli) in
+    let ilr = !dlr /. dend and ili = -. !dli /. dend in
+    let s = -1.0 /. float_of_int ll in
+    let qr = (a0r *. ilr) -. (a0i *. ili)
+    and qi = (a0r *. ili) +. (a0i *. ilr) in
+    let tr = ref (s *. qr) and ti = ref (s *. qi) in
+    let dkr = ref 1.0 and dki = ref 0.0 in
     for k = 1 to p_order do
-      dk := cmul !dk d;
+      let nr = (!dkr *. dr) -. (!dki *. di)
+      and ni = (!dkr *. di) +. (!dki *. dr) in
+      dkr := nr;
+      dki := ni;
       let sign = if k land 1 = 1 then -1.0 else 1.0 in
-      t :=
-        cadd !t
-          (cscale
-             (sign *. binom (ll + k - 1) (k - 1))
-             (cdiv (cdiv (get a k) !dk) !dl));
+      let den = (!dkr *. !dkr) +. (!dki *. !dki) in
+      let ibr = !dkr /. den and ibi = -. !dki /. den in
+      let akr = a.(2 * k) and aki = a.((2 * k) + 1) in
+      let q1r = (akr *. ibr) -. (aki *. ibi)
+      and q1i = (akr *. ibi) +. (aki *. ibr) in
+      let q2r = (q1r *. ilr) -. (q1i *. ili)
+      and q2i = (q1r *. ili) +. (q1i *. ilr) in
+      let s = sign *. binom (ll + k - 1) (k - 1) in
+      tr := !tr +. (s *. q2r);
+      ti := !ti +. (s *. q2i);
       mem.work (8 * flop_cycles)
     done;
-    acc out ll !t
+    out.(2 * ll) <- out.(2 * ll) +. !tr;
+    out.((2 * ll) + 1) <- out.((2 * ll) + 1) +. !ti
   done
 
 let l2l mem g l ~parent ~child out =
   (* Shift the parent's local expansion to the child's center. *)
   let px, py = box_center (l - 1) parent and cx, cy = box_center l child in
   let c = mem.read_vec (local_slot g (l - 1) parent) coeff_floats in
-  let d = (cx -. px, cy -. py) in
+  let dr = cx -. px and di = cy -. py in
   for ll = 0 to p_order do
-    let t = ref (0.0, 0.0) in
+    let tr = ref 0.0 and ti = ref 0.0 in
     for k = ll to p_order do
       (* c_k C(k,l) d^{k-l} *)
-      let dp = ref (1.0, 0.0) in
+      let dpr = ref 1.0 and dpi = ref 0.0 in
       for _ = 1 to k - ll do
-        dp := cmul !dp d
+        let nr = (!dpr *. dr) -. (!dpi *. di)
+        and ni = (!dpr *. di) +. (!dpi *. dr) in
+        dpr := nr;
+        dpi := ni
       done;
-      t := cadd !t (cscale (binom k ll) (cmul (get c k) !dp));
+      let ckr = c.(2 * k) and cki = c.((2 * k) + 1) in
+      let s = binom k ll in
+      let mr = (ckr *. !dpr) -. (cki *. !dpi)
+      and mi = (ckr *. !dpi) +. (cki *. !dpr) in
+      tr := !tr +. (s *. mr);
+      ti := !ti +. (s *. mi);
       mem.work (6 * flop_cycles)
     done;
-    acc out ll !t
+    out.(2 * ll) <- out.(2 * ll) +. !tr;
+    out.((2 * ll) + 1) <- out.((2 * ll) + 1) +. !ti
   done
 
 let eval_local c (zx, zy) =
-  let v = ref (0.0, 0.0) in
-  let zp = ref (1.0, 0.0) in
+  let vr = ref 0.0 and vi = ref 0.0 in
+  let zpr = ref 1.0 and zpi = ref 0.0 in
   for k = 0 to p_order do
-    v := cadd !v (cmul (get c k) !zp);
-    zp := cmul !zp (zx, zy)
+    let ckr = c.(2 * k) and cki = c.((2 * k) + 1) in
+    vr := !vr +. ((ckr *. !zpr) -. (cki *. !zpi));
+    vi := !vi +. ((ckr *. !zpi) +. (cki *. !zpr));
+    let nr = (!zpr *. zx) -. (!zpi *. zy)
+    and ni = (!zpr *. zy) +. (!zpi *. zx) in
+    zpr := nr;
+    zpi := ni
   done;
-  fst !v
+  !vr
 
 (* --- Driver, shared by the parallel and reference executions. --- *)
 
@@ -428,25 +493,41 @@ let instance ?(vg = false) ?(scale = 1.0) () =
               storef = (fun s v -> Dsm.store_float ctx (addr_of_slot s) v);
               loadi = (fun s -> Dsm.load_int ctx (addr_of_slot s));
               storei = (fun s v -> Dsm.store_int ctx (addr_of_slot s) v);
+              (* Expansion vectors live contiguously inside one
+                 allocation region, so the whole transfer is one access
+                 program over [base0 + 8*i] (see Kernels); odd-sized
+                 vectors (none today) would fall back to the loop. *)
               read_vec =
-                (fun s k ->
-                  let a = Array.make k 0.0 in
-                  Dsm.batch ctx
-                    [ (addr_of_slot s, k * 8, Dsm.R) ]
-                    (fun () ->
-                      for i = 0 to k - 1 do
-                        a.(i) <- Dsm.Batch.load_float ctx (addr_of_slot (s + i))
-                      done);
-                  a);
+                (let rd = Kernels.vec_read ~k:coeff_floats in
+                 fun s k ->
+                   let a = Array.make k 0.0 in
+                   Dsm.batch ctx
+                     [ (addr_of_slot s, k * 8, Dsm.R) ]
+                     (fun () ->
+                       if k = coeff_floats then
+                         Dsm.Prog.run ctx rd ~s:0.0 ~aux:a
+                           ~base0:(addr_of_slot s) ~base1:0 ~base2:0
+                       else
+                         for i = 0 to k - 1 do
+                           a.(i) <-
+                             Dsm.Batch.load_float ctx (addr_of_slot (s + i))
+                         done);
+                   a);
               write_vec =
-                (fun s v ->
-                  Dsm.batch ctx
-                    [ (addr_of_slot s, Array.length v * 8, Dsm.W) ]
-                    (fun () ->
-                      Array.iteri
-                        (fun i x ->
-                          Dsm.Batch.store_float ctx (addr_of_slot (s + i)) x)
-                        v));
+                (let wr = Kernels.vec_write ~k:coeff_floats in
+                 fun s v ->
+                   let k = Array.length v in
+                   Dsm.batch ctx
+                     [ (addr_of_slot s, k * 8, Dsm.W) ]
+                     (fun () ->
+                       if k = coeff_floats then
+                         Dsm.Prog.run ctx wr ~s:0.0 ~aux:v
+                           ~base0:(addr_of_slot s) ~base1:0 ~base2:0
+                       else
+                         Array.iteri
+                           (fun i x ->
+                             Dsm.Batch.store_float ctx (addr_of_slot (s + i)) x)
+                           v));
               work = (fun c -> Dsm.compute ctx c);
             }
           in

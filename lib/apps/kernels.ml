@@ -1,0 +1,116 @@
+(* Compiled access programs for the app kernels' hot loops.
+
+   Each builder flattens one app's innermost loop body into a
+   {!Shasta_core.Dsm.Prog} instruction list whose memory-op order and
+   floating-point expression shapes replicate the closure formulation it
+   replaces exactly (OCaml evaluates operator arguments right to left,
+   so e.g. [a +. (b *. dt)] issues the [b] load first) — the observed
+   interpreter replays the closure's hook stream verbatim and the values
+   are bit-identical. Programs carry a per-processor register file:
+   build them inside the parallel body, once per [ctx], never shared. *)
+
+module Dsm = Shasta_core.Dsm
+open Dsm.Prog
+
+(* Water integrate (both water-nsq and water-sp), one molecule per run:
+   for d in 0..2, advance velocity by the accumulated force, advance the
+   wrapped position, clear the force. Raw ops; run inside the molecule's
+   batch with [base0] = the molecule's first field. *)
+let water_integrate ~dt ~box ~flop_cycles =
+  let instrs =
+    List.concat
+      (List.init 3 (fun d ->
+           [
+             Ldf (0, 0, 8 * (6 + d));
+             Mulk (0, 0, 0) (* f *. dt *);
+             Ldf (1, 0, 8 * (3 + d));
+             Add (1, 1, 0) (* v' = v +. f*.dt *);
+             Stf (1, 0, 8 * (3 + d));
+             Mulk (0, 1, 0) (* v' *. dt *);
+             Ldf (2, 0, 8 * d);
+             Add (2, 2, 0) (* x +. v'*.dt *);
+             Wrap (2, 1);
+             Stf (2, 0, 8 * d);
+             Movk (3, 2);
+             Stf (3, 0, 8 * (6 + d)) (* f <- 0 *);
+             Charge (4 * flop_cycles);
+           ]))
+  in
+  compile ~consts:[| dt; box; 0.0 |] ~nregs:4 instrs
+
+(* Barnes integrate: the same velocity/position update without the
+   periodic wrap, over checked accesses (the real Barnes does not batch
+   its integrate phase). [base0] = the body's first slot address. *)
+let barnes_integrate ~dt ~flop_cycles =
+  let instrs =
+    List.concat
+      (List.init 3 (fun d ->
+           [
+             Cldf (0, 0, 8 * (6 + d));
+             Mulk (0, 0, 0);
+             Cldf (1, 0, 8 * (3 + d));
+             Add (1, 1, 0);
+             Cstf (1, 0, 8 * (3 + d));
+             Mulk (0, 1, 0);
+             Cldf (2, 0, 8 * d);
+             Add (2, 2, 0);
+             Cstf (2, 0, 8 * d);
+             Charge (4 * flop_cycles);
+           ]))
+  in
+  compile ~consts:[| dt |] ~nregs:3 instrs
+
+let rec range_by2 j n = if j > n then [] else j :: range_by2 (j + 2) n
+
+(* Ocean red-black SOR row: one batched stencil update per matching-
+   parity column. [jstart] (1 or 2) selects the column parity; bases:
+   [base0] = row i-1, [base1] = row i+1, [base2] = row i; [aux] = the
+   pre-read right-hand-side row. *)
+let ocean_row ~n ~jstart ~omega ~cell_cycles =
+  let instrs =
+    List.concat_map
+      (fun j ->
+        [
+          (* Loads in the closure's right-to-left order: (i,j+1),
+             (i,j-1), (i+1,j), (i-1,j). *)
+          Ldf (3, 2, 8 * (j + 1));
+          Ldf (2, 2, 8 * (j - 1));
+          Ldf (1, 1, 8 * j);
+          Ldf (0, 0, 8 * j);
+          Add (0, 0, 1);
+          Add (0, 0, 2);
+          Add (0, 0, 3);
+          Auxld (4, j);
+          Sub (0, 0, 4);
+          Mulk (0, 0, 0) (* 0.25 *);
+          Ldf (5, 2, 8 * j) (* old *);
+          Mulk (5, 5, 1) (* (1-omega) *. old *);
+          Mulk (0, 0, 2) (* omega *. v *);
+          Add (5, 5, 0);
+          Stf (5, 2, 8 * j);
+          Charge cell_cycles;
+        ])
+      (range_by2 jstart n)
+  in
+  compile ~consts:[| 0.25; 1.0 -. omega; omega |] ~nregs:6 instrs
+
+(* Ocean right-hand-side row prefetch: checked loads of the matching-
+   parity columns into [aux] (the host-side coefficient row). [base0] =
+   the rhs row's first cell. *)
+let ocean_rhs_row ~n ~jstart =
+  let instrs =
+    List.concat_map
+      (fun j -> [ Cldf (0, 0, 8 * j); Auxst (0, j) ])
+      (range_by2 jstart n)
+  in
+  compile ~nregs:1 instrs
+
+(* FMM expansion-vector transfers: [k] raw loads into [aux], or [k] raw
+   stores out of it. [base0] = the vector's first slot address. *)
+let vec_read ~k =
+  compile ~nregs:1
+    (List.concat (List.init k (fun i -> [ Ldf (0, 0, 8 * i); Auxst (0, i) ])))
+
+let vec_write ~k =
+  compile ~nregs:1
+    (List.concat (List.init k (fun i -> [ Auxld (0, i); Stf (0, 0, 8 * i) ])))

@@ -99,7 +99,8 @@ let div_row_block ctx layout ~bsz ~k ~j =
       for r = 1 to bsz - 1 do
         for m = 0 to r - 1 do
           let lrm = Dsm.Batch.load_float ctx (diag r m) in
-          Dsm.Prog.run ctx prog ~s:lrm ~base0:(tgt r 0) ~base1:(tgt m 0)
+          Dsm.Prog.run ctx prog ~s:lrm ~aux:Dsm.Prog.no_aux ~base0:(tgt r 0)
+            ~base1:(tgt m 0) ~base2:0
         done
       done)
 
@@ -120,7 +121,9 @@ let update_block ctx layout ~bsz ~k ~i ~j =
       let arm = Dsm.load_float ctx (a r m) in
       Dsm.batch ctx
         [ (d r 0, bsz * 8, Dsm.W); (b m 0, bsz * 8, Dsm.R) ]
-        (fun () -> Dsm.Prog.run ctx prog ~s:arm ~base0:(d r 0) ~base1:(b m 0))
+        (fun () ->
+          Dsm.Prog.run ctx prog ~s:arm ~aux:Dsm.Prog.no_aux ~base0:(d r 0)
+            ~base1:(b m 0) ~base2:0)
     done
   done
 

@@ -84,18 +84,32 @@ let instance ?(vg = false) ?(scale = 1.0) () =
           let p = Dsm.pid ctx in
           let lo = row_lo p and hi = row_hi p in
           let row_bytes = dim * 8 in
+          (* The row sweep compiled to access programs, one per column
+             parity (see Kernels): the stencil as a raw in-batch
+             program, the coefficient prefetch as a checked program —
+             the coefficient grid is read through ordinary (unbatched)
+             checked loads, like the multiple right-hand-side grids of
+             the real Ocean. *)
+          let row_p =
+            [|
+              Kernels.ocean_row ~n ~jstart:2 ~omega ~cell_cycles;
+              Kernels.ocean_row ~n ~jstart:1 ~omega ~cell_cycles;
+            |]
+          in
+          let rhs_p =
+            [| Kernels.ocean_rhs_row ~n ~jstart:2;
+               Kernels.ocean_rhs_row ~n ~jstart:1 |]
+          in
           for _t = 1 to iters do
             List.iter
               (fun parity ->
                 for i = lo to hi do
-                  (* The coefficient grid is read through ordinary
-                     (unbatched) checked loads, like the multiple
-                     right-hand-side grids of the real Ocean. *)
+                  (* Columns j with (i + j) land 1 = parity; odd js
+                     (jstart = 1) exactly when (i + 1) land 1 = parity. *)
+                  let sel = if (i + 1) land 1 = parity then 1 else 0 in
                   let frow = Array.make (dim + 1) 0.0 in
-                  for j = 1 to n do
-                    if (i + j) land 1 = parity then
-                      frow.(j) <- Dsm.load_float ctx (rhs_at i j)
-                  done;
+                  Dsm.Prog.run ctx rhs_p.(sel) ~s:0.0 ~aux:frow
+                    ~base0:(rhs_at i 0) ~base1:0 ~base2:0;
                   Dsm.batch ctx
                     [
                       (at (i - 1) 0, row_bytes, Dsm.R);
@@ -103,22 +117,10 @@ let instance ?(vg = false) ?(scale = 1.0) () =
                       (at i 0, row_bytes, Dsm.W);
                     ]
                     (fun () ->
-                      for j = 1 to n do
-                        if (i + j) land 1 = parity then begin
-                          let v =
-                            0.25
-                            *. (Dsm.Batch.load_float ctx (at (i - 1) j)
-                               +. Dsm.Batch.load_float ctx (at (i + 1) j)
-                               +. Dsm.Batch.load_float ctx (at i (j - 1))
-                               +. Dsm.Batch.load_float ctx (at i (j + 1))
-                               -. frow.(j))
-                          in
-                          let old = Dsm.Batch.load_float ctx (at i j) in
-                          Dsm.Batch.store_float ctx (at i j)
-                            (((1.0 -. omega) *. old) +. (omega *. v));
-                          Dsm.compute ctx cell_cycles
-                        end
-                      done)
+                      Dsm.Prog.run ctx row_p.(sel) ~s:0.0 ~aux:frow
+                        ~base0:(at (i - 1) 0)
+                        ~base1:(at (i + 1) 0)
+                        ~base2:(at i 0))
                 done;
                 Dsm.barrier ctx bar)
               [ 0; 1 ]

@@ -63,6 +63,9 @@ let instance ?(vg = false) ?(scale = 1.0) () =
           let p = Dsm.pid ctx in
           let lo = p * n / np and hi = (p + 1) * n / np in
           let local = Array.make (n * 3) 0.0 in
+          let integ =
+            Kernels.water_integrate ~dt ~box ~flop_cycles:W.flop_cycles
+          in
           for _s = 1 to steps do
             Array.fill local 0 (n * 3) 0.0;
             (* Pair evaluation: positions read via single float loads
@@ -119,27 +122,14 @@ let instance ?(vg = false) ?(scale = 1.0) () =
               end
             done;
             Dsm.barrier ctx bar;
-            (* Integrate own molecules. *)
+            (* Integrate own molecules (the velocity/position update
+               compiled to an access program; see Kernels). *)
             for i = lo to hi - 1 do
-              let wrap_pos q =
-                if q < 0.0 then q +. box
-                else if q >= box then q -. box
-                else q
-              in
               Dsm.batch ctx
                 [ (fld i 0, W.mol_bytes, Dsm.W) ]
                 (fun () ->
-                  for d = 0 to 2 do
-                    let v =
-                      Dsm.Batch.load_float ctx (fld i (3 + d))
-                      +. (Dsm.Batch.load_float ctx (fld i (6 + d)) *. dt)
-                    in
-                    Dsm.Batch.store_float ctx (fld i (3 + d)) v;
-                    Dsm.Batch.store_float ctx (fld i d)
-                      (wrap_pos (Dsm.Batch.load_float ctx (fld i d) +. (v *. dt)));
-                    Dsm.Batch.store_float ctx (fld i (6 + d)) 0.0;
-                    Dsm.compute ctx (4 * W.flop_cycles)
-                  done)
+                  Dsm.Prog.run ctx integ ~s:0.0 ~aux:Dsm.Prog.no_aux
+                    ~base0:(fld i 0) ~base1:0 ~base2:0)
             done;
             Dsm.barrier ctx bar
           done

@@ -158,6 +158,9 @@ let instance ?(vg = false) ?(scale = 1.0) () =
         let body ctx =
           let p = Dsm.pid ctx in
           let lo = cell_lo p and hi = cell_hi p in
+          let integ =
+            Kernels.water_integrate ~dt ~box ~flop_cycles:W.flop_cycles
+          in
           let mol_cell i =
             let coord d = Dsm.load_float ctx (fld i d) in
             let r = cell_of ~c ~box (coord 0) (coord 1) (coord 2) in
@@ -236,23 +239,8 @@ let instance ?(vg = false) ?(scale = 1.0) () =
                 Dsm.batch ctx
                   [ (fld i 0, W.mol_bytes, Dsm.W) ]
                   (fun () ->
-                    let wrap_pos q =
-                      if q < 0.0 then q +. box
-                      else if q >= box then q -. box
-                      else q
-                    in
-                    for d = 0 to 2 do
-                      let v =
-                        Dsm.Batch.load_float ctx (fld i (3 + d))
-                        +. (Dsm.Batch.load_float ctx (fld i (6 + d)) *. dt)
-                      in
-                      Dsm.Batch.store_float ctx (fld i (3 + d)) v;
-                      Dsm.Batch.store_float ctx (fld i d)
-                        (wrap_pos
-                           (Dsm.Batch.load_float ctx (fld i d) +. (v *. dt)));
-                      Dsm.Batch.store_float ctx (fld i (6 + d)) 0.0;
-                      Dsm.compute ctx (4 * W.flop_cycles)
-                    done)
+                    Dsm.Prog.run ctx integ ~s:0.0 ~aux:Dsm.Prog.no_aux
+                      ~base0:(fld i 0) ~base1:0 ~base2:0)
               done
             done;
             Dsm.barrier ctx bar

@@ -26,6 +26,14 @@ let env_shards () =
     | Some n when n >= 1 -> n
     | _ -> invalid_arg "SHASTA_SHARDS: expected auto|0|N>=1")
 
+(* SHASTA_FASTPATH gates the fused inline-check fast path; it defaults
+   to on and exists so CI can diff fast-path vs. reference runs
+   byte-for-byte. *)
+let env_fastpath () =
+  match Sys.getenv_opt "SHASTA_FASTPATH" with
+  | Some "0" -> false
+  | None | Some _ -> true
+
 type t = {
   variant : variant;
   nprocs : int;
@@ -43,6 +51,7 @@ type t = {
   sanitize : int;
   trace : int;
   shards : int;
+  fastpath : bool;
   fault : fault option;
 }
 
@@ -51,13 +60,16 @@ let create ?(variant = Base) ?(nprocs = 1) ?(procs_per_node = 4)
     ?(checks_enabled = true) ?(timing = Timing.default)
     ?(link = Shasta_net.Link.default) ?(max_cycles = 2_000_000_000)
     ?(seed = 42) ?(smp_sync = false) ?(share_directory = false)
-    ?sanitize ?trace ?shards ?fault () =
+    ?sanitize ?trace ?shards ?fastpath ?fault () =
   let sanitize =
     match sanitize with Some s -> max 0 s | None -> env_sanitize ()
   in
   let trace = match trace with Some v -> max 0 v | None -> env_trace () in
   let shards =
     match shards with Some s -> max 0 s | None -> env_shards ()
+  in
+  let fastpath =
+    match fastpath with Some b -> b | None -> env_fastpath ()
   in
   if nprocs <= 0 then invalid_arg "Config.create: nprocs";
   if procs_per_node <= 0 then invalid_arg "Config.create: procs_per_node";
@@ -86,6 +98,7 @@ let create ?(variant = Base) ?(nprocs = 1) ?(procs_per_node = 4)
     sanitize;
     trace;
     shards;
+    fastpath;
     fault;
   }
 

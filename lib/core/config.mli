@@ -57,6 +57,14 @@ type t = private {
           to the node count). Simulated results are bit-identical at any
           setting. Defaults to the [SHASTA_SHARDS] environment
           variable. *)
+  fastpath : bool;
+      (** enable the fused inline-check fast path (hit checks resolved
+          against a single state-table byte, batched per-line checks in
+          access programs) with cycle accounting deferred to a
+          per-processor accumulator. Simulated results are bit-identical
+          either way; off exists so CI can diff fast vs. reference.
+          Defaults to the [SHASTA_FASTPATH] environment variable
+          (default on; ["0"] disables). *)
   fault : fault option;  (** test-only protocol fault injection *)
 }
 
@@ -77,6 +85,7 @@ val create :
   ?sanitize:int ->
   ?trace:int ->
   ?shards:int ->
+  ?fastpath:bool ->
   ?fault:fault ->
   unit ->
   t
@@ -84,6 +93,12 @@ val create :
     lines, 8 MiB heap, checks enabled. Raises [Invalid_argument] on
     inconsistent combinations (Base with clustering > 1, clustering not
     dividing the node size, non-positive sizes). *)
+
+val env_fastpath : unit -> bool
+(** The [SHASTA_FASTPATH] environment variable: ["0"] means off,
+    anything else (including unset) means on. The default for
+    {!create}'s [?fastpath]; exposed so harnesses (bench) can report the
+    requested value. *)
 
 val env_shards : unit -> int
 (** The [SHASTA_SHARDS] environment variable parsed to the [shards]

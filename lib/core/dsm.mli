@@ -113,18 +113,54 @@ end
 (** {1 Access programs}
 
     A hot per-block access sequence compiled once into a flat int array
-    and interpreted in a tight loop inside a {!batch} — the §3.4.1
-    batched-check idea applied to the simulator's own hot path,
-    replacing per-access closure dispatch. The interpretation is
-    cycle-identical to the equivalent sequence of [Batch] calls: with an
-    observer installed every op charges and fires its hook individually;
-    without one the program's cycles are charged in a single fused
-    [compute]-style charge at the end (same total and finish time; a
-    [Cycle_limit] that would have fired mid-program fires at the
+    and interpreted in a tight loop — the §3.4.1 batched-check idea
+    applied to the simulator's own hot path, replacing per-access
+    closure dispatch. A program is {e raw} (uses {!instr.Ldf}/[Stf];
+    must run inside a {!batch} whose ranges cover every address it
+    touches) or {e checked} (uses [Cldf]/[Cstf]; runs outside batches,
+    each access going through the ordinary checked load/store); mixing
+    both in one program is rejected at {!compile} time. The
+    interpretation is cycle-identical to the equivalent closure
+    formulation: with an observer installed every op charges and fires
+    its hook individually; without one a raw program's cycles are
+    charged in a single fused charge at the end (same total and finish
+    time; a [Cycle_limit] that would have fired mid-program fires at the
     program's end clock). Programs are per-processor scratch (they carry
     a register file) — build one per [ctx], not shared across bodies. *)
 module Prog : sig
+  type instr =
+    | Ldf of int * int * int
+        (** [Ldf (r, b, off)]: reg [r] <- raw in-batch float load at
+            base [b] + byte offset [off] ([b] selects [base0..base2] of
+            {!run}) *)
+    | Stf of int * int * int  (** raw in-batch float store of reg [r] *)
+    | Cldf of int * int * int  (** checked float load (outside batch) *)
+    | Cstf of int * int * int  (** checked float store *)
+    | Fms of int * int
+        (** [Fms (a, b)]: [r(a) <- r(a) -. s *. r(b)] with {!run}'s
+            scalar [s] *)
+    | Add of int * int * int  (** [r(a) <- r(b) +. r(c)] *)
+    | Sub of int * int * int  (** [r(a) <- r(b) -. r(c)] *)
+    | Mul of int * int * int  (** [r(a) <- r(b) *. r(c)] *)
+    | Mulk of int * int * int  (** [r(a) <- r(b) *. consts.(k)] *)
+    | Movk of int * int  (** [r(a) <- consts.(k)] *)
+    | Auxld of int * int  (** [r(a) <- aux.(i)] from {!run}'s scratch *)
+    | Auxst of int * int  (** [aux.(i) <- r(a)] *)
+    | Wrap of int * int
+        (** [Wrap (a, k)]: periodic wrap of [r(a)] into
+            [\[0, consts.(k))] — adds or subtracts one period, the
+            water-kernel boundary condition *)
+    | Charge of int  (** model [n] cycles of local computation *)
+
   type t
+
+  val compile : ?consts:float array -> nregs:int -> instr list -> t
+  (** Validate and flatten a program. Raises [Invalid_argument] on a
+      register/base/constant index out of range or a program mixing raw
+      and checked accesses. *)
+
+  val no_aux : float array
+  (** Empty scratch array for programs without [Auxld]/[Auxst]. *)
 
   val fms_row : len:int -> cost:int -> t
   (** The daxpy row kernel [dst.(c) <- dst.(c) -. s *. src.(c)] for
@@ -132,11 +168,15 @@ module Prog : sig
       ops emitted in the evaluation order of the closure formulation
       (src load, dst load, multiply-subtract, dst store, charge). *)
 
-  val run : ctx -> t -> s:float -> base0:int -> base1:int -> unit
-  (** Interpret a program with scalar [s] and the two base addresses
-      bound ([base0] = dst row, [base1] = src row for {!fms_row}). Must
-      run inside a {!batch} whose ranges cover every address the
-      program touches. *)
+  val run :
+    ctx -> t -> s:float -> aux:float array -> base0:int -> base1:int ->
+    base2:int -> unit
+  (** Interpret a program with scalar [s], host-side scratch [aux]
+      (pass {!no_aux} when unused) and the three base addresses bound
+      ([base0] = dst row, [base1] = src row for {!fms_row}; unused bases
+      may be [0]). A raw program must run inside a {!batch} whose ranges
+      cover every address it touches; a checked program must run outside
+      any batch. *)
 end
 
 (** {1 Synchronization} *)

@@ -34,6 +34,9 @@ type t = {
   mutable downgrades_sent : int;
   downgrade_events : Shasta_util.Histogram.t;
   mutable checks : int;
+  mutable fast_hits : int;
+  mutable accesses : int;
+  mutable prog_accesses : int;
 }
 
 let create () =
@@ -47,6 +50,9 @@ let create () =
     downgrades_sent = 0;
     downgrade_events = Shasta_util.Histogram.create ();
     checks = 0;
+    fast_hits = 0;
+    accesses = 0;
+    prog_accesses = 0;
   }
 
 let add_cycles t c n = t.cycles.(category_index c) <- t.cycles.(category_index c) + n
@@ -80,6 +86,9 @@ let aggregate ts =
         List.iter
           (fun k -> add_many r.downgrade_events k (count t.downgrade_events k))
           (keys t.downgrade_events));
-      r.checks <- r.checks + t.checks)
+      r.checks <- r.checks + t.checks;
+      r.fast_hits <- r.fast_hits + t.fast_hits;
+      r.accesses <- r.accesses + t.accesses;
+      r.prog_accesses <- r.prog_accesses + t.prog_accesses)
     ts;
   r

@@ -30,6 +30,17 @@ type t = {
   downgrade_events : Shasta_util.Histogram.t;
       (** per downgrade occurrence, the number of messages sent (0-3) *)
   mutable checks : int;  (** inline checks executed *)
+  mutable fast_hits : int;
+      (** inline checks resolved by the fused fast path (no protocol
+          dispatch); a subset of [checks], and host-side bookkeeping
+          only — never charged simulated cycles *)
+  mutable accesses : int;
+      (** checked application loads/stores issued through [Dsm]
+          (per-access or in-batch), counted whether or not checks are
+          enabled *)
+  mutable prog_accesses : int;
+      (** the subset of [accesses] issued by compiled [Dsm.Prog] access
+          programs rather than closure dispatch *)
 }
 
 val create : unit -> t

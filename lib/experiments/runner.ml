@@ -81,6 +81,14 @@ let with_cache f = Mutex.protect cache_mutex f
 let executed_cycles = Atomic.make 0
 let simulated_cycles () = Atomic.get executed_cycles
 
+(* Cumulative inline-check counters over executed runs, mirroring
+   [executed_cycles]: the bench JSON derives its fused-hit rate from a
+   difference across a target's span. *)
+let executed_checks = Atomic.make 0
+let executed_fast_hits = Atomic.make 0
+let fastpath_totals () =
+  (Atomic.get executed_checks, Atomic.get executed_fast_hits)
+
 (* Global metrics aggregate over every traced run (SHASTA_TRACE=1).
    Filled under [metrics_mutex] as worker domains complete; merging is
    commutative, so the aggregate is independent of the jobs count and
@@ -202,6 +210,11 @@ let execute spec =
          verdict.App.detail);
   let downgrade_msgs = Dsm.downgrade_messages h in
   ignore (Atomic.fetch_and_add executed_cycles (Dsm.parallel_cycles h));
+  (let agg = Dsm.aggregate_stats h in
+   ignore (Atomic.fetch_and_add executed_checks agg.Shasta_core.Stats.checks);
+   ignore
+     (Atomic.fetch_and_add executed_fast_hits
+        agg.Shasta_core.Stats.fast_hits));
   {
     spec;
     workload = inst.App.workload;
@@ -263,3 +276,23 @@ let speedup spec =
   float_of_int seq.parallel_cycles /. float_of_int par.parallel_cycles
 
 let cache_size () = with_cache (fun () -> Hashtbl.length cache)
+
+let fastpath_by_app () =
+  let tbl = Hashtbl.create 16 in
+  with_cache (fun () ->
+      Hashtbl.iter
+        (fun spec r ->
+          let st = r.stats in
+          let c, fh, a, pa =
+            match Hashtbl.find_opt tbl spec.app with
+            | Some t -> t
+            | None -> (0, 0, 0, 0)
+          in
+          Hashtbl.replace tbl spec.app
+            ( c + st.Shasta_core.Stats.checks,
+              fh + st.Shasta_core.Stats.fast_hits,
+              a + st.Shasta_core.Stats.accesses,
+              pa + st.Shasta_core.Stats.prog_accesses ))
+        cache);
+  Hashtbl.fold (fun app t acc -> (app, t) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

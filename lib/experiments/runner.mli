@@ -71,6 +71,17 @@ val simulated_cycles : unit -> int
     (cache hits contribute nothing). Difference across a span to
     attribute simulated work to it. *)
 
+val fastpath_totals : unit -> int * int
+(** [(checks, fast_hits)] summed over all runs actually executed so far
+    (cache hits contribute nothing). Difference across a span for the
+    bench JSON's [hit_fastpath_rate]. *)
+
+val fastpath_by_app : unit -> (string * (int * int * int * int)) list
+(** [(app, (checks, fast_hits, accesses, prog_accesses))] summed over
+    the cached results of each application, sorted by name — the
+    per-app fused-hit rate and access-program coverage the CLI's
+    [report] prints to stderr. *)
+
 val traced_runs : unit -> int
 (** Runs executed with the metrics observer attached
     ([Config.trace > 0], i.e. [SHASTA_TRACE=1]). *)

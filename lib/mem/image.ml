@@ -2,12 +2,27 @@ type t = Bytes.t
 
 let create layout = Bytes.make layout.Layout.heap_bytes '\000'
 
-let load64 t a = Bytes.get_int64_le t a
-let store64 t a v = Bytes.set_int64_le t a v
-let load_float t a = Int64.float_of_bits (load64 t a)
-let store_float t a v = store64 t a (Int64.bits_of_float v)
-let load_int t a = Int64.to_int (load64 t a)
-let store_int t a v = store64 t a (Int64.of_int v)
+(* Unaligned 64-bit access primitives (the same ones Stdlib.Bytes builds
+   its checked accessors on). They are native-endian; the image format
+   is little-endian, so fall back to the checked LE accessors on a
+   big-endian host — [Sys.big_endian] is a link-time constant, the
+   branch costs nothing on the machines we care about. Bounds stay
+   enforced in debug builds via the asserts. *)
+external unsafe_get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+let[@inline] load64 t a =
+  assert (a >= 0 && a + 8 <= Bytes.length t);
+  if Sys.big_endian then Bytes.get_int64_le t a else unsafe_get64 t a
+
+let[@inline] store64 t a v =
+  assert (a >= 0 && a + 8 <= Bytes.length t);
+  if Sys.big_endian then Bytes.set_int64_le t a v else unsafe_set64 t a v
+
+let[@inline] load_float t a = Int64.float_of_bits (load64 t a)
+let[@inline] store_float t a v = store64 t a (Int64.bits_of_float v)
+let[@inline] load_int t a = Int64.to_int (load64 t a)
+let[@inline] store_int t a v = store64 t a (Int64.of_int v)
 let snapshot t ~addr ~len = Bytes.sub t addr len
 
 let write_bytes t ~addr ?(skip = []) data =

@@ -7,7 +7,12 @@
     of coherence — are defined per allocation on top of lines by
     {!Block_map}. *)
 
-type t = private { line_size : int; heap_bytes : int; page_size : int }
+type t = private {
+  line_size : int;
+  line_shift : int;  (** [log2 line_size]; [line_of] divides by shifting *)
+  heap_bytes : int;
+  page_size : int;
+}
 
 val create : ?line_size:int -> ?heap_bytes:int -> unit -> t
 (** Defaults: 64-byte lines, 8 MiB heap, 4 KiB pages. [line_size] must be

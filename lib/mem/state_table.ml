@@ -17,23 +17,36 @@ let batch_bit = 0b10000
 
 let create layout = Bytes.make (Layout.nlines layout) '\000'
 
+(* Raw byte access for the inline-check fast path.  The bounds check is
+   kept as an assert so dev builds (which is what dune's default profile
+   ships) still catch out-of-range lines, while release builds compile
+   down to a single unchecked byte load/store. *)
+let unsafe_get_byte t l =
+  assert (l >= 0 && l < Bytes.length t);
+  Char.code (Bytes.unsafe_get t l)
+
+let unsafe_set_byte t l v =
+  assert (l >= 0 && l < Bytes.length t);
+  assert (v >= 0 && v < 0x20);
+  Bytes.unsafe_set t l (Char.unsafe_chr v)
+
 let get t l =
-  match Char.code (Bytes.get t l) land base_mask with
+  match unsafe_get_byte t l land base_mask with
   | 0 -> Invalid
   | 1 -> Shared
   | _ -> Exclusive
 
 let set t l b =
-  let v = Char.code (Bytes.get t l) land lnot base_mask in
+  let v = unsafe_get_byte t l land lnot base_mask in
   let b = match b with Invalid -> 0 | Shared -> 1 | Exclusive -> 2 in
-  Bytes.set t l (Char.chr (v lor b))
+  unsafe_set_byte t l (v lor b)
 
-let get_bit bit t l = Char.code (Bytes.get t l) land bit <> 0
+let get_bit bit t l = unsafe_get_byte t l land bit <> 0
 
 let set_bit bit t l v =
-  let c = Char.code (Bytes.get t l) in
+  let c = unsafe_get_byte t l in
   let c = if v then c lor bit else c land lnot bit in
-  Bytes.set t l (Char.chr c)
+  unsafe_set_byte t l c
 
 let pending = get_bit pending_bit
 let set_pending = set_bit pending_bit
@@ -41,6 +54,17 @@ let pending_downgrade = get_bit downgrade_bit
 let set_pending_downgrade = set_bit downgrade_bit
 let batch_marker = get_bit batch_bit
 let set_batch_marker = set_bit batch_bit
+
+(* Fused hit predicate: one byte load answers "is the line's base state
+   at least [need] with no transient markers set?".  Clean bytes are
+   exactly 0 (Invalid), 1 (Shared) and 2 (Exclusive); any pending /
+   pending-downgrade / batch bit pushes the byte past [base_mask]. *)
+let clean_geq t l need =
+  let b = unsafe_get_byte t l in
+  match need with
+  | Invalid -> b land lnot base_mask = 0
+  | Shared -> b = 1 || b = 2
+  | Exclusive -> b = 2
 
 let pp_base ppf b =
   Format.pp_print_string ppf

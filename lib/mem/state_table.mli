@@ -19,6 +19,22 @@ val create : Layout.t -> t
 val get : t -> int -> base
 val set : t -> int -> base -> unit
 
+val unsafe_get_byte : t -> int -> int
+(** Raw encoded byte for line [l]: base state in the low two bits plus
+    the transient marker bits.  Bounds-checked by [assert] only (kept in
+    dev builds, compiled out with [-noassert]). *)
+
+val unsafe_set_byte : t -> int -> int -> unit
+(** Raw byte store; same assert-only bounds policy as
+    {!unsafe_get_byte}. *)
+
+val clean_geq : t -> int -> base -> bool
+(** [clean_geq t l need]: single-byte fused check — the line's base
+    state satisfies [base_geq base need] {e and} no pending /
+    pending-downgrade / batch marker is set.  This is the inline-check
+    fast-path predicate: a [true] answer means the access can complete
+    against the local image without entering the protocol. *)
+
 val pending : t -> int -> bool
 (** A miss for this line's block is outstanding (request sent, reply not
     yet processed). *)

@@ -18,6 +18,12 @@ type proc = {
   mutable p_now : int;
   mutable p_status : status;
   mutable p_horizon : int;
+  mutable p_resumed_at : int;
+      (* Clock at which the run-ahead scheduler last resumed this
+         processor ([min_int] under the always-yield schedulers, so the
+         elision below never fires there). A yield requested while the
+         clock still equals it is a guaranteed self-resume — see the
+         comment on [yield]. *)
   mutable p_visible : int;
       (* The base of [p_horizon] before the tie-break adjustment: the
          earliest virtual time at which anything another processor did
@@ -69,8 +75,20 @@ let () =
         Printf.eprintf "[sched] yields performed=%d elided=%d\n%!"
           (Atomic.get total_performed) (Atomic.get total_elided))
 
+(* Besides the horizon rule, a yield is elided when the clock has not
+   advanced since the scheduler resumed this processor: popping [p] froze
+   every peer's clock and status, a running processor never enqueues a
+   message to itself ([Protocol.deliver] handles those inline), so
+   re-performing would recompute the identical horizon and pop the
+   unique (clock, pid) minimum — [p] itself — right back. Under the
+   sharded scheduler the recomputed cross-shard bound can only have
+   grown (published clocks are monotone), so keeping the staler, smaller
+   horizon is conservative there. A protocol operation typically issues
+   several scheduling points at one virtual time (the flush charge, the
+   poll charge, the poll probe), and this collapses them into at most
+   one continuation switch. *)
 let yield p =
-  if p.p_now >= p.p_horizon then begin
+  if p.p_now >= p.p_horizon && p.p_now <> p.p_resumed_at then begin
     p.p_counters.performed <- p.p_counters.performed + 1;
     Effect.perform Yield
   end
@@ -78,7 +96,7 @@ let yield p =
 
 let advance p c =
   advance_local p c;
-  if p.p_now >= p.p_horizon then begin
+  if p.p_now >= p.p_horizon && p.p_now <> p.p_resumed_at then begin
     p.p_counters.performed <- p.p_counters.performed + 1;
     Effect.perform Yield
   end
@@ -123,40 +141,48 @@ module Runq = struct
 
   let create capacity dummy = { heap = Array.make capacity dummy; size = 0 }
 
+  (* Hot: one push + one pop per scheduler pick. Every index below is
+     bounded by [size <= capacity] (push asserts it), so the accesses
+     skip the bounds checks. *)
+
   let push q p =
+    assert (q.size < Array.length q.heap);
     let heap = q.heap in
     let i = ref q.size in
     q.size <- q.size + 1;
-    heap.(!i) <- p;
+    Array.unsafe_set heap !i p;
     while
       !i > 0
       &&
       let parent = (!i - 1) / 2 in
-      less heap.(!i) heap.(parent)
+      less (Array.unsafe_get heap !i) (Array.unsafe_get heap parent)
     do
       let parent = (!i - 1) / 2 in
-      let t = heap.(!i) in
-      heap.(!i) <- heap.(parent);
-      heap.(parent) <- t;
+      let t = Array.unsafe_get heap !i in
+      Array.unsafe_set heap !i (Array.unsafe_get heap parent);
+      Array.unsafe_set heap parent t;
       i := parent
     done
 
   let pop q =
+    assert (q.size > 0);
     let heap = q.heap in
-    let m = heap.(0) in
+    let m = Array.unsafe_get heap 0 in
     q.size <- q.size - 1;
-    heap.(0) <- heap.(q.size);
+    Array.unsafe_set heap 0 (Array.unsafe_get heap q.size);
     let i = ref 0 in
     let continue = ref true in
     while !continue do
       let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
       let smallest = ref !i in
-      if l < q.size && less heap.(l) heap.(!smallest) then smallest := l;
-      if r < q.size && less heap.(r) heap.(!smallest) then smallest := r;
+      if l < q.size && less (Array.unsafe_get heap l) (Array.unsafe_get heap !smallest)
+      then smallest := l;
+      if r < q.size && less (Array.unsafe_get heap r) (Array.unsafe_get heap !smallest)
+      then smallest := r;
       if !smallest <> !i then begin
-        let t = heap.(!i) in
-        heap.(!i) <- heap.(!smallest);
-        heap.(!smallest) <- t;
+        let t = Array.unsafe_get heap !i in
+        Array.unsafe_set heap !i (Array.unsafe_get heap !smallest);
+        Array.unsafe_set heap !smallest t;
         i := !smallest
       end
       else continue := false
@@ -216,6 +242,7 @@ let run ~nprocs ?(max_cycles = 2_000_000_000) ?(run_ahead = true)
           p_now = 0;
           p_status = Fresh;
           p_horizon = 0;
+          p_resumed_at = min_int;
           p_visible = min_int;
           p_max_cycles = max_cycles;
           p_counters = counters;
@@ -254,15 +281,19 @@ let run ~nprocs ?(max_cycles = 2_000_000_000) ?(run_ahead = true)
      messages or by higher-pid zero-lookahead peers means the scheduler
      would pop [p] right back — so [p] may keep running through [h] and
      the horizon is [h + 1]. *)
+  (* Hot: one call per scheduler pick. The unsafe reads are in range by
+     construction — [i < nprocs = Array.length tasks] and
+     [row + i < nprocs * nprocs = Array.length lookahead]. *)
   let horizon_of p =
+    assert (Array.length tasks = nprocs && Array.length lookahead = nprocs * nprocs);
     let h = ref (arrival_hint p.p_id) in
     (* Does some contributor of the minimum run before [p] at time !h? *)
     let tie_lower = ref false in
     let row = p.p_id * nprocs in
     for i = 0 to nprocs - 1 do
-      let q = tasks.(i) in
+      let q = Array.unsafe_get tasks i in
       if q != p && q.p_status <> Finished then begin
-        let la = lookahead.(row + i) in
+        let la = Array.unsafe_get lookahead (row + i) in
         let bound = q.p_now + la in
         if bound < !h then begin
           h := bound;
@@ -282,23 +313,40 @@ let run ~nprocs ?(max_cycles = 2_000_000_000) ?(run_ahead = true)
   Array.iter (fun p -> Runq.push q p) tasks;
   while q.Runq.size > 0 do
     let p = Runq.pop q in
-    (* With [run_ahead] off, a past horizon forces the effect at every
-       scheduling point and [p_visible] stays in the past so idle waits
-       advance one quantum at a time, reproducing the always-yield
-       scheduler switch-for-switch. *)
-    if run_ahead then p.p_horizon <- horizon_of p
-    else begin
-      p.p_horizon <- min_int;
-      p.p_visible <- min_int
-    end;
-    step body p;
-    (* A Running status here means [step] returned without the task
-       either finishing or suspending, which the handler construction
-       rules out. *)
-    match p.p_status with
-    | Suspended _ -> Runq.push q p
-    | Finished -> ()
-    | Fresh | Running -> assert false
+    let running = ref true in
+    while !running do
+      (* With [run_ahead] off, a past horizon forces the effect at every
+         scheduling point and [p_visible] stays in the past so idle waits
+         advance one quantum at a time, reproducing the always-yield
+         scheduler switch-for-switch. *)
+      if run_ahead then begin
+        p.p_horizon <- horizon_of p;
+        p.p_resumed_at <- p.p_now
+      end
+      else begin
+        p.p_horizon <- min_int;
+        p.p_visible <- min_int
+      end;
+      step body p;
+      (* A Running status here means [step] returned without the task
+         either finishing or suspending, which the handler construction
+         rules out. *)
+      match p.p_status with
+      | Suspended _ ->
+        (* Self-resume fast path: pushing [p] and popping again would
+           return [p] itself whenever it is still the strict (clock,
+           pid) minimum — [less] is total on live processors (unique
+           pids), so the comparison against the heap top decides the
+           pick exactly. Skip the heap churn and resume directly. *)
+        if
+          q.Runq.size > 0 && not (Runq.less p (Array.unsafe_get q.Runq.heap 0))
+        then begin
+          Runq.push q p;
+          running := false
+        end
+      | Finished -> running := false
+      | Fresh | Running -> assert false
+    done
   done;
   ignore (Atomic.fetch_and_add total_performed counters.performed);
   ignore (Atomic.fetch_and_add total_elided counters.elided);
@@ -422,6 +470,7 @@ let run_sharded ~nprocs ~shards ~shard_of ?(max_cycles = 2_000_000_000)
           p_now = 0;
           p_status = Fresh;
           p_horizon = 0;
+          p_resumed_at = min_int;
           p_visible = min_int;
           p_max_cycles = max_cycles;
           p_counters = shard_counters.(shard_of i);
@@ -563,6 +612,7 @@ let run_sharded ~nprocs ~shards ~shard_of ?(max_cycles = 2_000_000_000)
                let p = Runq.pop q in
                steps.(s) <- steps.(s) + 1;
                p.p_horizon <- horizon_of p bound;
+               p.p_resumed_at <- p.p_now;
                step body p;
                match p.p_status with
                | Suspended _ -> Runq.push q p
@@ -618,6 +668,7 @@ let run_controlled ~nprocs ?(max_cycles = 2_000_000_000) ~choose body =
           p_now = 0;
           p_status = Fresh;
           p_horizon = min_int;
+          p_resumed_at = min_int;
           p_visible = min_int;
           p_max_cycles = max_cycles;
           p_counters = counters;
