@@ -84,6 +84,14 @@ let write_json ~name ~wall ~cycles ~jobs ~shards ~performed ~elided
         (Shasta_trace.Metrics.to_json (E.Runner.metrics_snapshot ()))
     else ""
   in
+  (* Per-op-class tail-latency aggregate over every YCSB run so far;
+     only present when the ycsb target ran. Merged in pid order per run
+     and run order across runs, so identical for any --jobs. *)
+  let ycsb =
+    match Shasta_workload.Ycsb.totals_json () with
+    | Some j -> Printf.sprintf ",\n  \"ycsb\": %s" j
+    | None -> ""
+  in
   (* Sharded-scheduler observability: per-shard host seconds and
      occupancy (resumes / loop iterations — the rest were parked at the
      cross-shard bound), summed over this target's sharded runs. Only
@@ -123,13 +131,13 @@ let write_json ~name ~wall ~cycles ~jobs ~shards ~performed ~elided
     \  \"yields_elided\": %d,\n\
     \  \"fastpath\": %b,\n\
     \  \"hit_fastpath_rate\": %.6f,\n\
-    \  \"cached_runs\": %d%s%s\n\
+    \  \"cached_runs\": %d%s%s%s\n\
      }\n"
     name wall cycles (E.Runner.seconds cycles) jobs shards (host_cores ())
     performed elided
     (Shasta_core.Config.env_fastpath ())
     (if checks = 0 then 0.0 else float_of_int fast_hits /. float_of_int checks)
-    cached_runs sharding metrics;
+    cached_runs sharding metrics ycsb;
   close_out oc;
   Printf.eprintf "[wrote %s]\n%!" file
 

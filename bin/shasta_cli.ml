@@ -135,7 +135,85 @@ let report_targets target_names quick jobs shards =
             (rate accesses prog_accesses) prog_accesses accesses)
         rows;
       Printf.eprintf "%!");
+    (* Tail-latency observability, stderr like the fast-path rows: the
+       miss-latency / downgrade-RTT percentiles of traced runs
+       (SHASTA_TRACE=1), and the per-op-class aggregate of any YCSB
+       runs in the selected targets. *)
+    (let module Runner = Shasta_experiments.Runner in
+     let module Metrics = Shasta_trace.Metrics in
+     let module H = Shasta_util.Histogram in
+     if Runner.traced_runs () > 0 then begin
+       let mx = Runner.metrics_snapshot () in
+       let line label h =
+         Printf.eprintf "[  %-14s n=%d p50=%d p99=%d p999=%d max=%d]\n" label
+           (H.total h) (H.percentile h 0.5) (H.percentile h 0.99)
+           (H.percentile h 0.999) (H.percentile h 1.0)
+       in
+       Printf.eprintf "[metrics over %d traced run(s), cycles:]\n"
+         (Runner.traced_runs ());
+       line "miss_latency" (Metrics.miss_latency mx);
+       line "downgrade_rtt" (Metrics.downgrade_rtt mx);
+       Printf.eprintf "%!"
+     end);
+    (let module Ycsb = Shasta_workload.Ycsb in
+     let module H = Shasta_util.Histogram in
+     match Ycsb.totals () with
+     | None -> ()
+     | Some (runs, classes) ->
+       Printf.eprintf "[ycsb aggregate over %d run(s), latency cycles:]\n"
+         runs;
+       List.iter
+         (fun (cls, ops, lat, msgs) ->
+           Printf.eprintf
+             "[  %-7s ops=%-8d p50=%-6d p99=%-6d p999=%-6d msgs/op=%.2f]\n"
+             (Ycsb.class_name cls) ops (H.percentile lat 0.5)
+             (H.percentile lat 0.99) (H.percentile lat 0.999)
+             (float_of_int msgs /. float_of_int (max 1 ops)))
+         classes;
+       Printf.eprintf "%!");
     0
+
+(* YCSB traffic generator: stream a keyed op mix (read/update/rmw/
+   insert/scan) through the DSM-backed KV store and report per-op-class
+   p50/p99/p999 latency and messages/op. Stdout carries only
+   virtual-time quantities, so it is bit-identical across shard counts
+   and host runs; host wall time goes to stderr. *)
+let run_ycsb workload records ops dist theta scan_max nprocs protocol
+    clustering seed no_progs shards =
+  let module Sampler = Shasta_workload.Sampler in
+  let module Ycsb = Shasta_workload.Ycsb in
+  match Ycsb.mix_of_string workload with
+  | None ->
+    Printf.eprintf "unknown workload %S (a|b|c|d|e|f)\n" workload;
+    2
+  | Some mix -> (
+    let variant =
+      match protocol with
+      | "base" -> Config.Base
+      | "smp" -> Config.Smp
+      | other ->
+        Printf.eprintf "unknown protocol %S (base|smp)\n" other;
+        exit 2
+    in
+    let clustering = if variant = Config.Base then 1 else clustering in
+    match Sampler.dist_of_string dist with
+    | None ->
+      Printf.eprintf "unknown distribution %S (zipfian|scrambled|uniform)\n"
+        dist;
+      2
+    | Some dist ->
+      let spec =
+        Ycsb.spec ~mix ~records ~ops ~dist ~theta ~scan_max ~variant ~nprocs
+          ~clustering ~seed ~progs:(not no_progs) ~shards ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Ycsb.run spec in
+      let host = Unix.gettimeofday () -. t0 in
+      print_string (Ycsb.render r);
+      Printf.eprintf "[%d ops in %.1fs host, %d shard(s), %s path]\n%!" ops
+        host r.Ycsb.shards_used
+        (if r.Ycsb.compiled then "access-program" else "closure");
+      if r.Ycsb.oracle_ok then 0 else 1)
 
 (* Protocol analyses (lib/check): the litmus model checker over the
    built-in downgrade-race scenarios, and/or a workload run under the
@@ -420,6 +498,60 @@ let report_cmd =
     Term.(
       const report_targets $ targets_arg $ quick_arg $ jobs_arg $ shards_arg)
 
+let ycsb_workload_arg =
+  Arg.(
+    value & pos 0 string "a"
+    & info [] ~docv:"WORKLOAD"
+        ~doc:"YCSB core workload: a, b, c, d, e or f.")
+
+let ycsb_records_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "records" ] ~docv:"N" ~doc:"Preloaded keys in the table.")
+
+let ycsb_ops_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "ops" ] ~docv:"N"
+        ~doc:"Total operations, split round-robin over the processors.")
+
+let ycsb_dist_arg =
+  Arg.(
+    value & opt string "zipfian"
+    & info [ "dist" ] ~docv:"D"
+        ~doc:"Key distribution: zipfian, scrambled or uniform.")
+
+let ycsb_theta_arg =
+  Arg.(
+    value & opt float 0.99
+    & info [ "theta" ] ~docv:"T" ~doc:"Zipfian skew, in (0, 1).")
+
+let ycsb_scan_max_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "scan-max" ] ~docv:"N"
+        ~doc:"Scan length is uniform in [1, $(docv)] (workload e).")
+
+let ycsb_no_progs_arg =
+  Arg.(
+    value & flag
+    & info [ "no-progs" ]
+        ~doc:
+          "Use the per-access closure path instead of compiled access \
+           programs (cycle-identical; for diffing).")
+
+let ycsb_cmd =
+  Cmd.v
+    (Cmd.info "ycsb"
+       ~doc:
+         "Stream a YCSB-style keyed op mix through the DSM-backed KV store \
+          and report per-op-class p50/p99/p999 latency and messages/op")
+    Term.(
+      const run_ycsb $ ycsb_workload_arg $ ycsb_records_arg $ ycsb_ops_arg
+      $ ycsb_dist_arg $ ycsb_theta_arg $ ycsb_scan_max_arg $ nprocs_arg
+      $ protocol_arg $ clustering_arg $ seed_arg $ ycsb_no_progs_arg
+      $ shards_arg)
+
 let litmus_arg =
   Arg.(
     value & flag
@@ -571,4 +703,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "shasta" ~doc)
-          [ run_cmd; report_cmd; check_cmd; trace_cmd; list_cmd ]))
+          [ run_cmd; report_cmd; ycsb_cmd; check_cmd; trace_cmd; list_cmd ]))

@@ -1,4 +1,4 @@
-let all : (string * App.maker) list =
+let splash2_apps : (string * App.maker) list =
   [
     ("barnes", Barnes.instance);
     ("fmm", Fmm.instance);
@@ -11,8 +11,10 @@ let all : (string * App.maker) list =
     ("water-sp", Water_sp.instance);
   ]
 
+let all : (string * App.maker) list = splash2_apps @ [ ("kv", Kv.instance) ]
 let find name = List.assoc name all
 let names = List.map fst all
+let splash2 = List.map fst splash2_apps
 let table2 = [ "barnes"; "fmm"; "lu"; "lu-contig"; "volrend"; "water-nsq" ]
 
 let table3 =

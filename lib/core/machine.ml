@@ -249,29 +249,31 @@ let alloc_barrier t =
 let lock_home t id = id mod t.cfg.Config.nprocs
 let barrier_home t id = id mod t.cfg.Config.nprocs
 
+(* Evaluated lazily, cheapest condition first: the post-run drain loop
+   probes this every [stall_gap] while the stragglers are still running,
+   so the common answer is "no" at the finished-flags check — the
+   directory sweep (O(blocks ever touched), unbounded over a run) must
+   only be paid in the final iterations when every processor is done. *)
 let quiescent t =
-  let procs_done = Array.for_all (fun p -> p.finished) t.procs in
-  let net_empty =
-    let ok = ref true in
-    for p = 0 to t.cfg.Config.nprocs - 1 do
-      if Network.queued t.net ~dst:p > 0 then ok := false
-    done;
-    !ok
-  in
-  let nodes_idle =
-    Array.for_all
-      (fun ns -> Miss_table.count ns.misses = 0 && Downgrade.count ns.downgrades = 0)
-      t.nodes
-  in
-  let dirs_idle =
-    Array.for_all
-      (fun d ->
-        let idle = ref true in
-        Directory.iter (fun _ e -> if e.Directory.busy || e.Directory.queue <> [] then idle := false) d;
-        !idle)
-      t.dirs
-  in
-  procs_done && net_empty && nodes_idle && dirs_idle
+  Array.for_all (fun p -> p.finished) t.procs
+  && (let ok = ref true in
+      for p = 0 to t.cfg.Config.nprocs - 1 do
+        if Network.queued t.net ~dst:p > 0 then ok := false
+      done;
+      !ok)
+  && Array.for_all
+       (fun ns ->
+         Miss_table.count ns.misses = 0 && Downgrade.count ns.downgrades = 0)
+       t.nodes
+  && Array.for_all
+       (fun d ->
+         let idle = ref true in
+         Directory.iter
+           (fun _ e ->
+             if e.Directory.busy || e.Directory.queue <> [] then idle := false)
+           d;
+         !idle)
+       t.dirs
 
 (* [quiescent] restricted to one shard: reads only the given processors'
    flags, queues and directories and the given nodes' tables, all owned

@@ -18,7 +18,7 @@ let spec ~checks ~scale app =
 let specs ?(scale = 1.0) () =
   List.concat_map
     (fun app -> [ spec ~checks:false ~scale app; spec ~checks:true ~scale app ])
-    Registry.names
+    Registry.splash2
 
 let render ?(scale = 1.0) () =
   let slowdowns = ref [] in
@@ -38,7 +38,7 @@ let render ?(scale = 1.0) () =
           Report.seconds smp.Runner.parallel_cycles;
           Report.pct slow;
         ])
-      Registry.names
+      Registry.splash2
   in
   let avg =
     List.fold_left ( +. ) 0.0 !slowdowns /. float_of_int (List.length !slowdowns)

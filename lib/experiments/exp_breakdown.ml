@@ -27,7 +27,7 @@ let segments base_cycles (r : Runner.result) =
     Stats.categories
 
 let specs ?(vg = false) ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
-  let apps = if vg then Registry.table2 else Registry.names in
+  let apps = if vg then Registry.table2 else Registry.splash2 in
   List.concat_map
     (fun app ->
       List.concat_map
@@ -36,7 +36,7 @@ let specs ?(vg = false) ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
     apps
 
 let render ?(vg = false) ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
-  let apps = if vg then Registry.table2 else Registry.names in
+  let apps = if vg then Registry.table2 else Registry.splash2 in
   let header =
     [ "app"; "procs"; "config" ]
     @ List.map Stats.category_name Stats.categories

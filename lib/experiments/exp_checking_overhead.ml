@@ -9,7 +9,7 @@ let specs ?(scale = 1.0) () =
         Runner.base ~scale app 1;
         Runner.smp ~scale app 1 ~clustering:1;
       ])
-    Registry.names
+    Registry.splash2
 
 let render ?(scale = 1.0) () =
   let rows =
@@ -35,7 +35,7 @@ let render ?(scale = 1.0) () =
             (Report.seconds smp.Runner.parallel_cycles)
             (Report.pct (ov smp));
         ])
-      Registry.names
+      Registry.splash2
   in
   let avg which =
     let total =
@@ -46,9 +46,9 @@ let render ?(scale = 1.0) () =
           acc
           +. (float_of_int (r.Runner.parallel_cycles - seq.Runner.parallel_cycles)
              /. float_of_int seq.Runner.parallel_cycles))
-        0.0 Registry.names
+        0.0 Registry.splash2
     in
-    total /. float_of_int (List.length Registry.names)
+    total /. float_of_int (List.length Registry.splash2)
   in
   let body =
     Table.render

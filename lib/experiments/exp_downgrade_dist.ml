@@ -6,7 +6,7 @@ let specs ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
   List.concat_map
     (fun app ->
       List.map (fun n -> Runner.smp ~scale app n ~clustering:4) procs)
-    Registry.names
+    Registry.splash2
 
 let render ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
   let header =
@@ -41,7 +41,7 @@ let render ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
               Report.fx mean;
             ])
           procs)
-      Registry.names
+      Registry.splash2
   in
   Report.section
     "Figure 8: downgrade-message count distribution (SMP-Shasta, clustering 4)"

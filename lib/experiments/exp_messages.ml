@@ -12,7 +12,7 @@ let specs ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
             Runner.smp ~scale app n ~clustering:4;
           ])
         procs)
-    Registry.names
+    Registry.splash2
 
 let render ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
   let header =
@@ -53,7 +53,7 @@ let render ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
                 ])
               specs)
           procs)
-      Registry.names
+      Registry.splash2
   in
   Report.section "Figure 7: protocol messages (remote / local / downgrade)"
     (Table.render ~header rows)

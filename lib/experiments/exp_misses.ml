@@ -24,7 +24,7 @@ let specs ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
             Runner.smp ~scale app n ~clustering:4;
           ])
         procs)
-    Registry.names
+    Registry.splash2
 
 let render ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
   let header =
@@ -67,7 +67,7 @@ let render ?(procs = [ 8; 16 ]) ?(scale = 1.0) () =
                   ])
               specs)
           procs)
-      Registry.names
+      Registry.splash2
   in
   Report.section
     "Figure 6: misses by type and hops (2-hop = reply from home)"

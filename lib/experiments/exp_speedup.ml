@@ -14,7 +14,7 @@ let specs ?(procs = [ 1; 2; 4; 8; 16 ]) ?(scale = 1.0) () =
       :: List.concat_map
            (fun n -> [ Runner.base ~scale app n; smp_spec ~scale app n ])
            procs)
-    Registry.names
+    Registry.splash2
 
 let render ?(procs = [ 1; 2; 4; 8; 16 ]) ?(scale = 1.0) () =
   let header =
@@ -31,7 +31,7 @@ let render ?(procs = [ 1; 2; 4; 8; 16 ]) ?(scale = 1.0) () =
           row "Base" (fun n -> Runner.base ~scale app n);
           row "SMP" (fun n -> smp_spec ~scale app n);
         ])
-      Registry.names
+      Registry.splash2
   in
   Report.section
     "Figure 3: speedups (vs. original sequential code), Base-Shasta and SMP-Shasta"

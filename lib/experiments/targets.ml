@@ -60,6 +60,11 @@ let all =
       specs = (fun ~scale:_ -> Exp_microbench.specs ());
     };
     {
+      name = "ycsb";
+      render = (fun ~scale -> Exp_ycsb.render ~scale ());
+      specs = (fun ~scale -> Exp_ycsb.specs ~scale ());
+    };
+    {
       name = "anl";
       render = (fun ~scale -> Exp_anl_compare.render ~scale ());
       specs = (fun ~scale -> Exp_anl_compare.specs ~scale ());

@@ -95,11 +95,12 @@ let home_occupancy t = t.home_occupancy
 let summary_json buf h =
   Buffer.add_string buf
     (Printf.sprintf
-       {|{"count": %d, "p50": %d, "p90": %d, "p99": %d, "max": %d}|}
+       {|{"count": %d, "p50": %d, "p90": %d, "p99": %d, "p999": %d, "max": %d}|}
        (Histogram.total h)
        (Histogram.percentile h 0.5)
        (Histogram.percentile h 0.9)
        (Histogram.percentile h 0.99)
+       (Histogram.percentile h 0.999)
        (Histogram.percentile h 1.0))
 
 let to_json t =
@@ -127,11 +128,13 @@ let to_json t =
   Buffer.contents buf
 
 let pp_summary ppf (label, h) =
-  Format.fprintf ppf "  %-15s n=%-8d p50=%-8d p90=%-8d p99=%-8d max=%d@."
-    label (Histogram.total h)
+  Format.fprintf ppf
+    "  %-15s n=%-8d p50=%-8d p90=%-8d p99=%-8d p999=%-8d max=%d@." label
+    (Histogram.total h)
     (Histogram.percentile h 0.5)
     (Histogram.percentile h 0.9)
     (Histogram.percentile h 0.99)
+    (Histogram.percentile h 0.999)
     (Histogram.percentile h 1.0)
 
 let pp ppf t =

@@ -38,7 +38,7 @@ val home_occupancy : t -> Shasta_util.Histogram.t
 (** Keyed by receiving processor id. *)
 
 val to_json : t -> string
-(** One JSON object: counters plus [count/p50/p90/p99/max] summaries and
+(** One JSON object: counters plus [count/p50/p90/p99/p999/max] summaries and
     a [msg_kinds] name-to-count object. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+module Prng = Shasta_util.Prng
+
+type dist = Uniform | Zipfian | Scrambled
+
+let dist_of_string = function
+  | "uniform" -> Some Uniform
+  | "zipfian" -> Some Zipfian
+  | "scrambled" -> Some Scrambled
+  | _ -> None
+
+let dist_to_string = function
+  | Uniform -> "uniform"
+  | Zipfian -> "zipfian"
+  | Scrambled -> "scrambled"
+
+type kind =
+  | U
+  | Z of {
+      theta : float;
+      alpha : float;
+      zetan : float;
+      eta : float;
+      scramble : bool;
+    }
+
+type t = { prng : Prng.t; n : int; kind : kind }
+
+let uniform ~seed ~n =
+  if n < 1 then invalid_arg "Sampler.uniform: n";
+  { prng = Prng.create seed; n; kind = U }
+
+(* zeta(n, theta) = sum_{i=1..n} 1/i^theta; O(n) but memoized — the
+   harness reuses a handful of (n, theta) pairs across processors. *)
+let zeta_memo : (int * float, float) Hashtbl.t = Hashtbl.create 8
+let zeta_mutex = Mutex.create ()
+
+let zeta n theta =
+  Mutex.lock zeta_mutex;
+  let z =
+    match Hashtbl.find_opt zeta_memo (n, theta) with
+    | Some z -> z
+    | None ->
+      let z = ref 0.0 in
+      for i = 1 to n do
+        z := !z +. (1.0 /. (float_of_int i ** theta))
+      done;
+      Hashtbl.add zeta_memo (n, theta) !z;
+      !z
+  in
+  Mutex.unlock zeta_mutex;
+  z
+
+let zipfian ?(scramble = false) ~seed ~n ~theta () =
+  if n < 2 then invalid_arg "Sampler.zipfian: n";
+  if not (theta > 0.0 && theta < 1.0) then
+    invalid_arg "Sampler.zipfian: theta";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta)))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { prng = Prng.create seed; n; kind = Z { theta; alpha; zetan; eta; scramble } }
+
+let make dist ~seed ~n ~theta =
+  match dist with
+  | Uniform -> uniform ~seed ~n
+  | Zipfian -> zipfian ~seed ~n ~theta ()
+  | Scrambled -> zipfian ~scramble:true ~seed ~n ~theta ()
+
+(* FNV-1a over the rank's 8 bytes, for the scrambled variant. *)
+let fnv64 k =
+  let open Int64 in
+  let h = ref 0xCBF29CE484222325L in
+  for i = 0 to 7 do
+    h := mul (logxor !h (of_int ((k lsr (8 * i)) land 0xff))) 0x100000001B3L
+  done;
+  Stdlib.(to_int !h land max_int)
+
+let next t =
+  match t.kind with
+  | U -> Prng.int t.prng t.n
+  | Z { theta; alpha; zetan; eta; scramble } ->
+    let u = Prng.float t.prng 1.0 in
+    let uz = u *. zetan in
+    let rank =
+      if uz < 1.0 then 0
+      else if uz < 1.0 +. (0.5 ** theta) then 1
+      else
+        int_of_float
+          (float_of_int t.n *. (((eta *. u) -. eta +. 1.0) ** alpha))
+    in
+    let rank = if rank >= t.n then t.n - 1 else rank in
+    if scramble then fnv64 rank mod t.n else rank
+
+let support t = t.n
+
+let describe t =
+  match t.kind with
+  | U -> "uniform"
+  | Z { theta; scramble; _ } ->
+    Printf.sprintf "%szipfian(%.2f)"
+      (if scramble then "scrambled-" else "")
+      theta

@@ -1,0 +1,37 @@
+(** Seeded key-popularity samplers for the YCSB-style harness.
+
+    All draws flow through an owned {!Shasta_util.Prng}, so a sampler's
+    output stream is a pure function of its construction arguments —
+    the per-processor op streams built from them are deterministic per
+    seed and independent of scheduling. *)
+
+type dist =
+  | Uniform
+  | Zipfian  (** rank = key: hot keys are the low key ids *)
+  | Scrambled  (** zipfian ranks spread over the keyspace by an FNV hash *)
+
+val dist_of_string : string -> dist option
+val dist_to_string : dist -> string
+
+type t
+
+val uniform : seed:int -> n:int -> t
+(** Uniform over [0, n). *)
+
+val zipfian : ?scramble:bool -> seed:int -> n:int -> theta:float -> unit -> t
+(** The YCSB zipfian generator over ranks [0, n) with skew
+    [theta in (0, 1)] (frequency of rank r proportional to 1/(r+1)^theta;
+    YCSB's default skew is 0.99). With [scramble], ranks are spread over
+    the keyspace by an FNV-1a hash, decorrelating popularity from key
+    adjacency. The zeta normalizer is memoized per (n, theta). *)
+
+val make : dist -> seed:int -> n:int -> theta:float -> t
+
+val next : t -> int
+(** Next key, in [0, n). *)
+
+val support : t -> int
+(** The keyspace size [n]. *)
+
+val describe : t -> string
+(** E.g. ["zipfian(0.99)"] — stable, used in rendered headers. *)

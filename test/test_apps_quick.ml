@@ -39,6 +39,7 @@ let () =
       cases "fmm" Shasta_apps.Fmm.instance;
       cases "raytrace" Shasta_apps.Raytrace.instance;
       cases "volrend" Shasta_apps.Volrend.instance;
+      cases "kv" Shasta_apps.Kv.instance;
     ]
 
 (* appended: ocean *)

@@ -387,6 +387,73 @@ let prop_histogram_merge =
       && Histogram.total a = List.fold_left (fun acc (_, n) -> acc + n) 0 pa
       && Histogram.total b = List.fold_left (fun acc (_, n) -> acc + n) 0 pb)
 
+(* Workload samplers: the YCSB generator's determinism rests on these.
+   Same seed must replay the same stream, every draw must stay inside
+   the key space, and the zipfian family must actually be skewed — rank
+   frequency decreasing in rank. *)
+module Sampler = Shasta_workload.Sampler
+
+let gen_sampler =
+  QCheck.Gen.(
+    let* dist = oneofl [ Sampler.Uniform; Sampler.Zipfian; Sampler.Scrambled ] in
+    let* n = int_range 2 5000 in
+    let* theta = float_range 0.2 0.99 in
+    let* seed = int_bound 100_000 in
+    return (dist, n, theta, seed))
+
+let print_sampler (dist, n, theta, seed) =
+  Printf.sprintf "%s n=%d theta=%.3f seed=%d"
+    (Sampler.dist_to_string dist)
+    n theta seed
+
+let draws (dist, n, theta, seed) k =
+  let s = Sampler.make dist ~seed ~n ~theta in
+  List.init k (fun _ -> Sampler.next s)
+
+let prop_sampler_deterministic =
+  QCheck.Test.make ~name:"sampler replays the same stream per seed" ~count:100
+    (QCheck.make ~print:print_sampler gen_sampler)
+    (fun cfg -> draws cfg 64 = draws cfg 64)
+
+let prop_sampler_support =
+  QCheck.Test.make ~name:"sampler draws stay inside [0, n)" ~count:100
+    (QCheck.make ~print:print_sampler gen_sampler)
+    (fun ((_, n, _, _) as cfg) ->
+      List.for_all (fun k -> 0 <= k && k < n) (draws cfg 256))
+
+(* Rank 0 must be drawn more often than rank 7, which must beat rank 63:
+   30k draws at theta >= 0.6 over n >= 128 puts the expected gaps far
+   beyond sampling noise for any seed. *)
+let prop_zipfian_skew =
+  QCheck.Test.make ~name:"zipfian rank frequency decreases in rank" ~count:30
+    (QCheck.make
+       ~print:(fun (n, theta, seed) ->
+         Printf.sprintf "n=%d theta=%.3f seed=%d" n theta seed)
+       QCheck.Gen.(
+         let* n = int_range 128 4096 in
+         let* theta = float_range 0.6 0.99 in
+         let* seed = int_bound 100_000 in
+         return (n, theta, seed)))
+    (fun (n, theta, seed) ->
+      let s = Sampler.zipfian ~seed ~n ~theta () in
+      let counts = Array.make n 0 in
+      for _ = 1 to 30_000 do
+        let k = Sampler.next s in
+        counts.(k) <- counts.(k) + 1
+      done;
+      counts.(0) > counts.(7) && counts.(7) > counts.(63))
+
+(* A pinned stream: any change to the zipfian math (zeta, eta, the
+   three-branch draw) shows up here as a concrete diff, not a silent
+   distribution shift. *)
+let test_zipfian_golden () =
+  let s = Sampler.zipfian ~seed:12345 ~n:1000 ~theta:0.99 () in
+  let got = List.init 8 (fun _ -> Sampler.next s) in
+  Alcotest.(check (list int))
+    "first 8 draws of zipfian(n=1000, theta=0.99, seed=12345)"
+    [ 21; 15; 29; 890; 20; 19; 80; 101 ]
+    got
+
 let () =
   Alcotest.run "props"
     [
@@ -407,5 +474,13 @@ let () =
           QCheck_alcotest.to_alcotest prop_histogram_counts;
           QCheck_alcotest.to_alcotest prop_histogram_percentile;
           QCheck_alcotest.to_alcotest prop_histogram_merge;
+        ] );
+      ( "sampler",
+        [
+          QCheck_alcotest.to_alcotest prop_sampler_deterministic;
+          QCheck_alcotest.to_alcotest prop_sampler_support;
+          QCheck_alcotest.to_alcotest prop_zipfian_skew;
+          Alcotest.test_case "zipfian golden stream" `Quick
+            test_zipfian_golden;
         ] );
     ]
