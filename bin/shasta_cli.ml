@@ -612,6 +612,191 @@ let check_cmd =
       $ max_runs_arg $ fault_arg $ check_app_arg $ nprocs_arg $ protocol_arg
       $ clustering_arg $ scale_arg $ seed_arg)
 
+(* ------------------------------------------------------------------ *)
+(* verify: the static-analysis passes (no simulation except the
+   conformance runs and the lock-graph collection). *)
+
+let run_verify reach progs locks dead fault bound seeds =
+  let module Verify = Shasta_verify in
+  let module Reach = Verify.Reach in
+  let fault =
+    match fault with
+    | None -> None
+    | Some "skip-private-downgrade" -> Some Config.Skip_private_downgrade
+    | Some "skip-flag-stamp" -> Some Config.Skip_flag_stamp
+    | Some other ->
+      Printf.eprintf
+        "unknown fault %S (skip-private-downgrade|skip-flag-stamp)\n" other;
+      exit 2
+  in
+  (* No pass selected = every pass. *)
+  let all = (not reach) && (not progs) && not locks in
+  let reach = reach || all and progs = progs || all and locks = locks || all in
+  let rc = ref 0 in
+  if reach then begin
+    let explore ?fault ?(stop = false) () =
+      Reach.explore
+        { Reach.default_params with Reach.bound; fault;
+          stop_at_first = stop }
+    in
+    match fault with
+    | Some f ->
+      (* Inverted gate: the injected fault must be exposed — success is
+         a reachable violating state with its counterexample. *)
+      let r = explore ~fault:f ~stop:true () in
+      Format.printf "%a@." Reach.pp_result r;
+      (match r.Reach.r_violations with
+      | v :: _ -> Format.printf "%a@." Reach.pp_violation v
+      | [] ->
+        Printf.printf "FAIL: injected fault exposed no violating state\n";
+        rc := 1)
+    | None ->
+      (* Clean exhaustive exploration: zero violations expected. *)
+      let r = explore () in
+      Format.printf "%a@." Reach.pp_result r;
+      List.iter
+        (fun v ->
+          Format.printf "%a@." Reach.pp_violation v;
+          rc := 1)
+        r.Reach.r_violations;
+      if dead then Format.printf "%a@." Reach.pp_dead (Reach.dead_report r);
+      (* Both fault injections must be exposed by the same exploration. *)
+      List.iter
+        (fun (name, f) ->
+          let rf = explore ~fault:f ~stop:true () in
+          match rf.Reach.r_violations with
+          | v :: _ ->
+            Printf.printf "fault %s: exposed (%s)\n" name v.Reach.v_message
+          | [] ->
+            Printf.printf "fault %s: NOT exposed\n" name;
+            rc := 1)
+        [
+          ("skip-private-downgrade", Config.Skip_private_downgrade);
+          ("skip-flag-stamp", Config.Skip_flag_stamp);
+        ];
+      (* Conformance: litmus runs may only perform model-vocabulary
+         transitions. *)
+      let reports = Shasta_check.Conformance.check_all ~seeds () in
+      List.iter
+        (fun r ->
+          Format.printf "%a@." Shasta_check.Conformance.pp_report r;
+          if r.Shasta_check.Conformance.mismatches <> [] then rc := 1)
+        reports
+  end;
+  if progs then begin
+    let manifest = Registry.kernel_manifest () in
+    match Registry.verify_kernels () with
+    | [] ->
+      Printf.printf "progs: %d kernel access programs verified\n"
+        (List.length manifest)
+    | findings ->
+      List.iter
+        (fun (name, f) ->
+          Printf.printf "progs: %s: %s\n" name
+            (Shasta_verify.Progcheck.describe_finding f))
+        findings;
+      rc := 1
+  end;
+  if locks then begin
+    let g = Shasta_verify.Lockgraph.create () in
+    List.iter
+      (fun ((name, maker) : string * App.maker) ->
+        let inst = maker () in
+        let cfg =
+          Config.create ~variant:Config.Smp ~nprocs:8 ~clustering:4
+            ~heap_bytes:
+              ((max (1 lsl 22) inst.App.heap_bytes + 4095) / 4096 * 4096)
+            ()
+        in
+        let h = Dsm.create cfg in
+        let body, _verify = inst.App.setup h in
+        Dsm.add_observer h (Shasta_verify.Lockgraph.observer g);
+        Dsm.run h body;
+        ignore name)
+      Registry.all;
+    Printf.printf "locks: %d distinct acquisition edges across %d apps\n"
+      (List.length (Shasta_verify.Lockgraph.edges g))
+      (List.length Registry.all);
+    match Shasta_verify.Lockgraph.cycles g with
+    | [] -> Printf.printf "locks: no potential deadlock cycles\n"
+    | cs ->
+      List.iter
+        (fun c ->
+          Printf.printf "locks: %s\n"
+            (Shasta_verify.Lockgraph.describe_cycle c))
+        cs;
+      rc := 1
+  end;
+  !rc
+
+let reach_arg =
+  Arg.(
+    value & flag
+    & info [ "reach" ]
+        ~doc:
+          "Exhaustively explore the abstract protocol model's reachable \
+           state space: the clean model must satisfy every invariant, both \
+           fault injections must be exposed with a counterexample, and the \
+           litmus scenarios' runs must conform to the model's label \
+           vocabulary.")
+
+let progs_verify_arg =
+  Arg.(
+    value & flag
+    & info [ "progs" ]
+        ~doc:
+          "Statically verify every registered kernel access program: \
+           in-bounds, aligned, well-formed, charge-consistent.")
+
+let locks_arg =
+  Arg.(
+    value & flag
+    & info [ "locks" ]
+        ~doc:
+          "Collect the lock-acquisition graph from instrumented runs of \
+           every registered app and report potential deadlock cycles.")
+
+let dead_arg =
+  Arg.(
+    value & flag
+    & info [ "dead" ]
+        ~doc:
+          "With $(b,--reach): also report dead model branches and unmodeled \
+           message tags (informational; does not affect the exit code).")
+
+let bound_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "bound" ] ~docv:"N"
+        ~doc:"In-flight message bound per (src, dst) pair in the model.")
+
+let seeds_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:"Fuzzed schedules per litmus scenario for the conformance pass.")
+
+let verify_fault_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "fault" ] ~docv:"F"
+        ~doc:
+          "With $(b,--reach): explore with the protocol fault \
+           (skip-private-downgrade|skip-flag-stamp) injected; the run \
+           SUCCEEDS only if a violating state is reachable, and prints its \
+           minimal counterexample.")
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Static analyses: exhaustive protocol-model checking with \
+          conformance against real runs, access-program verification, and \
+          lock-order deadlock analysis")
+    Term.(
+      const run_verify $ reach_arg $ progs_verify_arg $ locks_arg $ dead_arg
+      $ verify_fault_arg $ bound_arg $ seeds_arg)
+
 let trace_proc_arg =
   Arg.(
     value & opt_all int []
@@ -703,4 +888,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "shasta" ~doc)
-          [ run_cmd; report_cmd; ycsb_cmd; check_cmd; trace_cmd; list_cmd ]))
+          [ run_cmd; report_cmd; ycsb_cmd; check_cmd; verify_cmd; trace_cmd;
+            list_cmd ]))

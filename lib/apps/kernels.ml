@@ -114,3 +114,48 @@ let vec_read ~k =
 let vec_write ~k =
   compile ~nregs:1
     (List.concat (List.init k (fun i -> [ Auxld (0, i); Stf (0, 0, 8 * i) ])))
+
+(* ------------------------------------------------------------------ *)
+
+(* Every program shape the apps compile, built with the parameters the
+   default-scale instances pass (the literals mirror the private
+   constants of water_nsq/water_sp, barnes, ocean and fmm), paired with
+   the extents of the regions the app runs it against. The static
+   verifier proves each one in-bounds, aligned and charge-consistent
+   before any simulation uses it. *)
+let manifest () =
+  let spec = Shasta_verify.Progcheck.spec in
+  (* Molecule/body record: 3 positions, 3 velocities, 3 forces. *)
+  let mol = 8 * 9 in
+  (* Ocean interior size at default scale; rows have n + 2 cells. *)
+  let n = 256 in
+  let row = 8 * (n + 2) in
+  let grid = spec ~base0:row ~base1:row ~base2:row ~aux:(n + 1) () in
+  (* FMM expansion vectors: 2 floats per term, p = 12. *)
+  let k = 2 * 13 in
+  let vec = spec ~base0:(8 * k) ~aux:k () in
+  [
+    ( "water.integrate",
+      water_integrate ~dt:0.004 ~box:6.0 ~flop_cycles:6,
+      spec ~base0:mol () );
+    ("barnes.integrate", barnes_integrate ~dt:0.02 ~flop_cycles:6,
+      spec ~base0:mol ());
+    ("ocean.sor-row.red", ocean_row ~n ~jstart:2 ~omega:1.5 ~cell_cycles:60,
+      grid);
+    ("ocean.sor-row.black", ocean_row ~n ~jstart:1 ~omega:1.5 ~cell_cycles:60,
+      grid);
+    ("ocean.rhs-row.red", ocean_rhs_row ~n ~jstart:2,
+      spec ~base0:row ~aux:(n + 1) ());
+    ("ocean.rhs-row.black", ocean_rhs_row ~n ~jstart:1,
+      spec ~base0:row ~aux:(n + 1) ());
+    ("fmm.vec-read", vec_read ~k, vec);
+    ("fmm.vec-write", vec_write ~k, vec);
+    (* LU's daxpy row lives in Dsm.Prog itself; bsz = 16 is both lu
+       variants' block size. *)
+    ( "lu.fms-row",
+      Dsm.Prog.fms_row ~len:16 ~cost:6,
+      spec ~base0:(8 * 16) ~base1:(8 * 16) () );
+    ( "lu.fms-row.2x",
+      Dsm.Prog.fms_row ~len:16 ~cost:12,
+      spec ~base0:(8 * 16) ~base1:(8 * 16) () );
+  ]

@@ -1,0 +1,44 @@
+(** Compiled access programs for the app kernels' hot loops.
+
+    Each builder flattens one app's innermost loop body into a
+    {!Shasta_core.Dsm.Prog} whose memory-op order and floating-point
+    expression shapes replicate the closure formulation it replaces
+    exactly, so the observed interpreter replays the closure's hook
+    stream verbatim and the computed values are bit-identical.
+    Programs carry a per-processor register file: build them inside
+    the parallel body, once per [ctx], never shared. *)
+
+module Dsm = Shasta_core.Dsm
+
+val water_integrate : dt:float -> box:float -> flop_cycles:int -> Dsm.Prog.t
+(** One molecule's integrate step (water-nsq and water-sp), raw ops
+    inside the molecule's batch: per dimension, advance velocity by the
+    accumulated force, advance the wrapped position, clear the force.
+    [base0] = the molecule's first field. *)
+
+val barnes_integrate : dt:float -> flop_cycles:int -> Dsm.Prog.t
+(** The same update without the periodic wrap, over checked accesses
+    (Barnes does not batch its integrate phase). *)
+
+val ocean_row :
+  n:int -> jstart:int -> omega:float -> cell_cycles:int -> Dsm.Prog.t
+(** One red-black SOR row over the matching-parity columns
+    ([jstart] = 1 or 2). [base0]/[base1] = rows i-1 / i+1, [base2] =
+    row i, [aux] = the pre-read right-hand-side row. *)
+
+val ocean_rhs_row : n:int -> jstart:int -> Dsm.Prog.t
+(** Checked prefetch of a right-hand-side row's matching-parity columns
+    into [aux]. [base0] = the row's first cell. *)
+
+val vec_read : k:int -> Dsm.Prog.t
+(** [k] raw loads from [base0] into [aux] (FMM expansion vectors). *)
+
+val vec_write : k:int -> Dsm.Prog.t
+(** [k] raw stores from [aux] out to [base0]. *)
+
+val manifest :
+  unit -> (string * Dsm.Prog.t * Shasta_verify.Progcheck.spec) list
+(** Every program shape above, built with the default-scale parameters
+    the apps pass, each paired with the extents it runs against — the
+    input to {!Registry.verify_kernels} and
+    [shasta_cli verify --progs]. *)

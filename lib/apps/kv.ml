@@ -137,20 +137,20 @@ let probe_instrs s =
   Cldf (0, 0, count_off)
   :: List.init (s + 1) (fun j -> Cldf (0, 0, key_off j))
 
-let progs_get (t : t) =
-  Array.init t.bcap (fun s ->
+let progs_get_cap bcap =
+  Array.init bcap (fun s ->
       Dsm.Prog.compile ~nregs:2
         (probe_instrs s
         @ [ Dsm.Prog.Cldf (0, 0, val_off s); Dsm.Prog.Auxst (0, 1) ]))
 
-let progs_put (t : t) =
-  Array.init t.bcap (fun s ->
+let progs_put_cap bcap =
+  Array.init bcap (fun s ->
       Dsm.Prog.compile ~nregs:2
         (probe_instrs s
         @ [ Dsm.Prog.Auxld (1, 0); Dsm.Prog.Cstf (1, 0, val_off s) ]))
 
-let progs_rmw (t : t) =
-  Array.init t.bcap (fun s ->
+let progs_rmw_cap bcap =
+  Array.init bcap (fun s ->
       Dsm.Prog.compile ~nregs:2
         (probe_instrs s
         @ Dsm.Prog.
@@ -160,6 +160,28 @@ let progs_rmw (t : t) =
               Add (0, 0, 1);
               Cstf (0, 0, val_off s);
             ]))
+
+let progs_get (t : t) = progs_get_cap t.bcap
+let progs_put (t : t) = progs_put_cap t.bcap
+let progs_rmw (t : t) = progs_rmw_cap t.bcap
+
+(* The op-class programs at a representative capacity, paired with the
+   extents they run against, for the static verifier. Any capacity
+   exercises every offset shape (slot [s] touches the count cell, keys
+   0..[s] and value [s]), so one small table stands in for them all. *)
+let prog_manifest () =
+  let bcap = 4 in
+  let stride = 8 * (1 + (2 * bcap)) in
+  let spec = Shasta_verify.Progcheck.spec ~base0:stride ~aux:2 () in
+  let table kind ps =
+    Array.to_list
+      (Array.mapi
+         (fun s p -> (Printf.sprintf "kv.%s.slot%d" kind s, p, spec))
+         ps)
+  in
+  table "get" (progs_get_cap bcap)
+  @ table "put" (progs_put_cap bcap)
+  @ table "rmw" (progs_rmw_cap bcap)
 
 let run_prog t ctx p ~bucket ~aux =
   Dsm.Prog.run ctx p ~s:0.0 ~aux ~base0:(bucket_addr t bucket) ~base1:0

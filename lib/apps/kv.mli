@@ -113,6 +113,12 @@ val progs_rmw : t -> Dsm.Prog.t array
 
 val run_prog : t -> Dsm.ctx -> Dsm.Prog.t -> bucket:int -> aux:float array -> unit
 
+val prog_manifest :
+  unit -> (string * Dsm.Prog.t * Shasta_verify.Progcheck.spec) list
+(** The get/put/rmw program tables at a representative bucket capacity,
+    each paired with the extents it runs against, for
+    [shasta_cli verify --progs] and {!Registry.verify_kernels}. *)
+
 (** {1 Post-run inspection} *)
 
 val peek_value : t -> Dsm.handle -> int -> float

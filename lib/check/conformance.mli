@@ -1,0 +1,22 @@
+(** Conformance oracle: every per-block transition and send a real
+    litmus run performs must be a member of the abstract model's label
+    vocabulary ({!Shasta_verify.Conform}). Runs each scenario under the
+    default schedule plus [seeds] PRNG-fuzzed schedules (the schedule
+    fuzzer's (scenario, seed) space). *)
+
+type report = {
+  scenario : string;
+  runs : int;
+  events : int;  (** projected hook events checked across all runs *)
+  mismatches : string list;
+      (** distinct out-of-model labels, first-seen order; empty =
+          conformant *)
+}
+
+val check_scenario : ?seeds:int -> Litmus.scenario -> report
+(** [seeds] defaults to 64. *)
+
+val check_all : ?seeds:int -> unit -> report list
+(** All litmus scenarios. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -709,6 +709,10 @@ module Prog = struct
     checked : bool;
   }
 
+  exception Prog_violation of { op : string; pc : int; detail : string }
+
+  let violation ~op ~pc detail = raise (Prog_violation { op; pc; detail })
+
   let no_aux : float array = [||]
 
   (* Opcodes, stride 4: op, a, b, c. *)
@@ -778,6 +782,39 @@ module Prog = struct
       invalid_arg "Prog.compile: program mixes raw and checked accesses";
     { code; regs = Array.make nregs 0.0; consts; raw = !raw; checked = !checked }
 
+  (* Introspection for the static verifier (Shasta_verify.Progcheck):
+     a compiled program decodes back to the instruction list it was
+     built from — [compile] is a bijection up to the flat encoding. *)
+  let nregs t = Array.length t.regs
+  let consts t = t.consts
+  let uses_raw t = t.raw
+  let uses_checked t = t.checked
+
+  let decode t =
+    let n = Array.length t.code / 4 in
+    List.init n (fun i ->
+        let k = 4 * i in
+        let op = t.code.(k)
+        and a = t.code.(k + 1)
+        and b = t.code.(k + 2)
+        and c = t.code.(k + 3) in
+        if op = op_ldf then Ldf (a, b, c)
+        else if op = op_stf then Stf (a, b, c)
+        else if op = op_fms then Fms (a, b)
+        else if op = op_charge then Charge a
+        else if op = op_cldf then Cldf (a, b, c)
+        else if op = op_cstf then Cstf (a, b, c)
+        else if op = op_add then Add (a, b, c)
+        else if op = op_sub then Sub (a, b, c)
+        else if op = op_mul then Mul (a, b, c)
+        else if op = op_mulk then Mulk (a, b, c)
+        else if op = op_movk then Movk (a, b)
+        else if op = op_auxld then Auxld (a, b)
+        else if op = op_auxst then Auxst (a, b)
+        else if op = op_wrap then Wrap (a, b)
+        else
+          violation ~op:(string_of_int op) ~pc:i "unknown opcode in decode")
+
   let fms_row ~len ~cost =
     (* dst[c] <- dst[c] - s * src[c] for c in [0, len): the daxpy inner
        row of blocked LU. Ops are emitted in the evaluation order of the
@@ -835,7 +872,9 @@ module Prog = struct
             (if q < 0.0 then q +. box
              else if q >= box then q -. box
              else q)
-        | _ -> assert false);
+        | op ->
+          violation ~op:(string_of_int op) ~pc:(!k / 4)
+            "unknown opcode (observed interpreter)");
         k := !k + 4
       done
     | None ->
@@ -876,7 +915,9 @@ module Prog = struct
             (if q < 0.0 then q +. box
              else if q >= box then q -. box
              else q)
-        | _ -> assert false);
+        | op ->
+          violation ~op:(string_of_int op) ~pc:(!k / 4)
+            "unknown opcode (fused interpreter)");
         k := !k + 4
       done;
       (* One fused charge for the in-batch traffic; a [Cycle_limit] for

@@ -154,10 +154,27 @@ module Prog : sig
 
   type t
 
+  exception Prog_violation of { op : string; pc : int; detail : string }
+  (** An impossible program configuration reached during interpretation
+      or decoding (e.g. an unknown opcode in a hand-forged code array) —
+      the access-program counterpart of [Protocol.Protocol_violation].
+      [pc] is the instruction index (code offset / 4). *)
+
   val compile : ?consts:float array -> nregs:int -> instr list -> t
   (** Validate and flatten a program. Raises [Invalid_argument] on a
       register/base/constant index out of range or a program mixing raw
       and checked accesses. *)
+
+  val decode : t -> instr list
+  (** Recover the instruction list a program was compiled from
+      ([compile] is a bijection up to the flat encoding) — the input to
+      the static verifier. Raises {!Prog_violation} on an unknown
+      opcode. *)
+
+  val nregs : t -> int
+  val consts : t -> float array
+  val uses_raw : t -> bool
+  val uses_checked : t -> bool
 
   val no_aux : float array
   (** Empty scratch array for programs without [Auxld]/[Auxst]. *)

@@ -1300,7 +1300,8 @@ let replay_wpiece ctx (block, off, len) =
 let unregister_wpiece ctx (block, off, len) =
   let ns = node_state ctx in
   match Hashtbl.find_opt ns.Machine.batch_wranges block with
-  | None -> assert false
+  | None ->
+    violation ctx ~block "batch end: write piece with no registered ranges"
   | Some ranges ->
     let rec remove_one = function
       | [] -> []
@@ -1319,7 +1320,10 @@ let batch_end ctx token =
       match Hashtbl.find_opt ns.Machine.batch_lines l with
       | Some 1 -> Hashtbl.remove ns.Machine.batch_lines l
       | Some n -> Hashtbl.replace ns.Machine.batch_lines l (n - 1)
-      | None -> assert false)
+      | None ->
+        violation ctx
+          ~block:(Layout.addr_of_line ctx.m.Machine.layout l)
+          "batch end: line count missing from the batch table")
     token.b_lines;
   (* Under SMP, a private entry raised for the batch may now overstate
      the node state (the block was downgraded mid-batch). Private state

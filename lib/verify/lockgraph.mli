@@ -1,0 +1,23 @@
+(** Lock-order deadlock analysis: collect the lock-acquisition graph
+    (edge a -> b = lock b acquired while a held) from instrumented app
+    registrations or direct {!add_edge} calls, and report potential
+    deadlock cycles — including ones no executed schedule has hit. *)
+
+type t
+
+val create : unit -> t
+val add_edge : t -> held:int -> acquired:int -> unit
+
+val observer : t -> Shasta_core.Observer.t
+(** Install with [Dsm.add_observer]; records an edge from every held
+    lock to every newly acquired one, per processor. *)
+
+val edges : t -> (int * int) list
+(** Distinct (held, acquired) pairs in first-seen order. *)
+
+val cycles : t -> int list list
+(** One witness cycle per back edge of the DFS, self-edges
+    (re-acquisition while held) included. Empty = no potential
+    deadlock in the recorded order. *)
+
+val describe_cycle : int list -> string

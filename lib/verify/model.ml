@@ -1,0 +1,956 @@
+(* Abstract model of the per-block coherence protocol.
+
+   The transition relation below is a pure mirror of the handlers in
+   lib/core/protocol.ml, specialized to the litmus geometry (2 coherence
+   nodes x 2 processors, SMP variant, one block, share_directory off)
+   and stripped of everything that does not affect protocol state:
+   cycle charges, statistics, batching, and data values. Data content is
+   abstracted to one bit per node copy — [stamped], true iff the copy
+   holds the invalid-flag pattern, which is exactly what the inline
+   access-control check reads. The mirrored sites carry the same
+   ordering as the real handlers (privates drop before the node entry,
+   snapshots precede sends, inline self-delivery runs the handler
+   immediately) so that the label stream projected from a transition
+   matches what the Observer hooks of a real run would report.
+
+   Exhaustive exploration of this model is what makes it useful: the
+   simulator's litmus explorer judges only delay-bounded schedules it
+   actually executes, while reachability over this relation covers every
+   interleaving of message deliveries and processor accesses under a
+   channel bound. *)
+
+module Config = Shasta_core.Config
+
+let nprocs = 4
+let nnodes = 2
+let node_of p = p / 2
+let sibling p = p lxor 1
+let procs_of_node n = [ 2 * n; (2 * n) + 1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Abstract vocabulary.                                                *)
+
+type base = I | S | E
+
+let rank = function I -> 0 | S -> 1 | E -> 2
+let base_name = function I -> "Invalid" | S -> "Shared" | E -> "Exclusive"
+
+type kind = Read | Readex | Upgrade
+
+let kind_name = function
+  | Read -> "read"
+  | Readex -> "readex"
+  | Upgrade -> "upgrade"
+
+(* The coherence subset of the Msg vocabulary (tags 0-12); the sync
+   tags 13-17 (locks, barriers) do not touch per-block state and are
+   outside the model. *)
+type msg =
+  | Req of kind
+  | Fwd of { kind : kind; requester : int; inval_acks : int }
+  | Data_reply of { kind : kind; from_home : bool; inval_acks : int }
+  | Upgrade_reply of { inval_acks : int }
+  | Invalidate of { requester : int }
+  | Inval_ack
+  | Sharing_wb of { new_sharer : int }
+  | Own_ack
+  | Downgrade of { target : base }
+
+let coherence_tags = 13
+
+let tag = function
+  | Req Read -> 0
+  | Req Readex -> 1
+  | Req Upgrade -> 2
+  | Fwd { kind = Read; _ } -> 3
+  | Fwd { kind = Readex; _ } -> 4
+  | Fwd { kind = Upgrade; _ } -> 5
+  | Data_reply _ -> 6
+  | Upgrade_reply _ -> 7
+  | Invalidate _ -> 8
+  | Inval_ack -> 9
+  | Sharing_wb _ -> 10
+  | Own_ack -> 11
+  | Downgrade _ -> 12
+
+let tag_name t = Shasta_core.Msg.tag_names.(t)
+let msg_name m = tag_name (tag m)
+
+(* ------------------------------------------------------------------ *)
+(* Abstract state.                                                     *)
+
+type deferred =
+  | Reply_read of { requester : int }
+  | Reply_readex of { requester : int; inval_acks : int }
+  | Inval_done of { requester : int }
+
+type down = {
+  d_target : base;
+  d_deferred : deferred;
+  mutable d_remaining : int;
+  mutable d_queued : (int * msg) list;  (** newest first, as in Downgrade *)
+}
+
+type entry = {
+  mutable e_kind : kind;
+  mutable e_ready : bool;
+  mutable e_acks_expected : int;  (** -1 until the reply sets it *)
+  mutable e_acks_received : int;
+  mutable e_uar : bool;  (** upgrade_after_reply *)
+  mutable e_iar : bool;  (** inval_after_reply *)
+  mutable e_fwds : (int * msg) list;  (** newest first *)
+}
+
+type nodest = {
+  mutable nbase : base;
+  mutable pending : bool;
+  mutable pdg : bool;  (** pending_downgrade *)
+  mutable stamped : bool;  (** copy holds the invalid-flag pattern *)
+  mutable miss : entry option;
+  mutable down : down option;
+}
+
+type dirst = {
+  mutable owner : int;
+  mutable sharers : int;  (** pid bitset *)
+  mutable busy : bool;
+  mutable queue : (int * kind) list;  (** newest first, as in Directory *)
+}
+
+(* In-flight messages: one global queue in send order. The real network
+   delivers at send-time + transfer(class, size) and the engine runs
+   handlers in arrival order, so delivery order is the send order
+   except where a cheaper transfer can close an arbitrary send gap:
+   ranking messages by minimum latency — intra-node control <
+   intra-node data < remote control < remote data (only [Data_reply]
+   carries the block; the rank order holds for line sizes up to 256
+   bytes under the default link) — a later send can only overtake an
+   earlier one of strictly higher rank, and never on the same
+   (src, dst) pair (the network forces per-pair FIFO explicitly).
+   Fully independent channels would over-approximate into reorderings
+   the simulator cannot exhibit (e.g. a stale invalidate overtaking a
+   later ownership grant) whose races are real unordered-network
+   hazards but false alarms against this implementation. *)
+type state = {
+  dir : dirst;
+  nodes : nodest array;  (** length 2 *)
+  priv : base array;  (** length 4 *)
+  mutable net : (int * int * msg) list;  (** (src, dst, msg), send order *)
+}
+
+let copy_entry e = { e with e_kind = e.e_kind }
+let copy_down d = { d with d_remaining = d.d_remaining }
+
+let copy_node n =
+  {
+    n with
+    miss = Option.map copy_entry n.miss;
+    down = Option.map copy_down n.down;
+  }
+
+let copy_state s =
+  {
+    dir = { s.dir with owner = s.dir.owner };
+    nodes = Array.map copy_node s.nodes;
+    priv = Array.copy s.priv;
+    net = s.net;
+  }
+
+let initial ~home =
+  {
+    dir = { owner = home; sharers = 0; busy = false; queue = [] };
+    nodes =
+      Array.init nnodes (fun n ->
+          {
+            nbase = (if n = node_of home then E else I);
+            pending = false;
+            pdg = false;
+            stamped = n <> node_of home;
+            miss = None;
+            down = None;
+          });
+    priv = Array.init nprocs (fun p -> if p = home then E else I);
+    net = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Conformance labels: the schedule-independent projection of the
+   Observer hook stream. A real run's hooks project into this space
+   (Conform.observer); exhaustive exploration emits the complete label
+   set of the model, and conformance means every projected real event
+   is a member. Fields are node-relative booleans (home node or not)
+   rather than pids so that the labels carry over to any 2-node config
+   regardless of which processor hosts the block. *)
+
+type label =
+  | L_state of { at_home : bool; from_ : int; to_ : int }
+  | L_private of { at_home : bool; self : bool; from_ : int; to_ : int }
+  | L_pending of { at_home : bool; set : bool }
+  | L_pdg of { at_home : bool; set : bool }
+  | L_send of { tg : int; src_home : bool; dst_home : bool; same_node : bool }
+
+let describe_label = function
+  | L_state { at_home; from_; to_ } ->
+    Printf.sprintf "state[%s] %d->%d" (if at_home then "home" else "remote") from_ to_
+  | L_private { at_home; self; from_; to_ } ->
+    Printf.sprintf "private[%s,%s] %d->%d"
+      (if at_home then "home" else "remote")
+      (if self then "self" else "peer")
+      from_ to_
+  | L_pending { at_home; set } ->
+    Printf.sprintf "pending[%s] %b" (if at_home then "home" else "remote") set
+  | L_pdg { at_home; set } ->
+    Printf.sprintf "pdg[%s] %b" (if at_home then "home" else "remote") set
+  | L_send { tg; src_home; dst_home; same_node } ->
+    Printf.sprintf "send[%s] %s->%s%s" (tag_name tg)
+      (if src_home then "home" else "remote")
+      (if dst_home then "home" else "remote")
+      (if same_node then " intra" else "")
+
+(* ------------------------------------------------------------------ *)
+(* Transition context.                                                 *)
+
+exception Model_violation of string
+
+type t = {
+  home : int;
+  bound : int;  (** per-(src,dst) channel bound *)
+  fault : Config.fault option;
+  mutable on_label : label -> unit;
+  mutable on_branch : string -> unit;
+  mutable overflow : bool;  (** a send exceeded [bound] this step *)
+  mutable st : state;
+}
+
+let create ?(home = 2) ?(bound = 2) ?fault () =
+  {
+    home;
+    bound;
+    fault;
+    on_label = ignore;
+    on_branch = ignore;
+    overflow = false;
+    st = initial ~home;
+  }
+
+let home_node t = node_of t.home
+let nd t p = t.st.nodes.(node_of p)
+let violation msg = raise (Model_violation msg)
+let hit t b = t.on_branch b
+
+let fault_is t f = t.fault = Some f
+
+(* Bitset helpers over pids. *)
+let bmem p s = s land (1 lsl p) <> 0
+let badd p s = s lor (1 lsl p)
+let belements s = List.filter (fun p -> bmem p s) [ 0; 1; 2; 3 ]
+
+(* ---------------- label-emitting state updates ---------------- *)
+
+let emit t l = t.on_label l
+let at_home t p = node_of p = home_node t
+
+let set_nbase t p v =
+  let n = nd t p in
+  if v <> n.nbase then
+    emit t (L_state { at_home = at_home t p; from_ = rank n.nbase; to_ = rank v });
+  n.nbase <- v
+
+let set_pending t p v =
+  (nd t p).pending <- v;
+  emit t (L_pending { at_home = at_home t p; set = v })
+
+let set_pdg t p v =
+  (nd t p).pdg <- v;
+  emit t (L_pdg { at_home = at_home t p; set = v })
+
+let raise_private t p q v =
+  let old = t.st.priv.(q) in
+  if rank old < rank v then begin
+    t.st.priv.(q) <- v;
+    emit t
+      (L_private
+         { at_home = at_home t q; self = p = q; from_ = rank old; to_ = rank v })
+  end
+
+let lower_private t p q v =
+  let old = t.st.priv.(q) in
+  if rank old > rank v then begin
+    t.st.priv.(q) <- v;
+    emit t
+      (L_private
+         { at_home = at_home t q; self = p = q; from_ = rank old; to_ = rank v })
+  end
+
+let stamp_invalid t p =
+  if not (fault_is t Config.Skip_flag_stamp) then (nd t p).stamped <- true
+
+let node_has_valid t p =
+  let n = nd t p in
+  n.nbase <> I && (not n.pending) && not n.pdg
+
+(* ---------------- message transport ---------------- *)
+
+(* Minimum-latency rank of a message on a (src, dst) pair: a later
+   send can only overtake an earlier in-flight message of strictly
+   higher rank (and never one on its own pair). *)
+let rank_of src dst m =
+  let cls = if node_of src = node_of dst then 0 else 2 in
+  let weight = match m with Data_reply _ -> 1 | _ -> 0 in
+  cls + weight
+
+(* [send] mirrors Protocol.deliver: a self-destined message runs its
+   handler inline (requester-is-home fast path); anything else enters
+   the global send-ordered queue. A send pushing one (src, dst) pair
+   past the bound marks the step for pruning by the explorer. *)
+let rec send t p dst m =
+  if dst = p then handle_message t p ~src:p m
+  else begin
+    emit t
+      (L_send
+         {
+           tg = tag m;
+           src_home = at_home t p;
+           dst_home = at_home t dst;
+           same_node = node_of p = node_of dst;
+         });
+    t.st.net <- t.st.net @ [ (p, dst, m) ];
+    let pair_depth =
+      List.fold_left
+        (fun n (s, d, _) -> if s = p && d = dst then n + 1 else n)
+        0 t.st.net
+    in
+    if pair_depth > t.bound then t.overflow <- true
+  end
+
+and handle_message t p ~src m =
+  hit t ("msg:" ^ msg_name m);
+  match m with
+  | Req kind -> handle_dir_request t p ~src ~kind
+  | Fwd { kind; requester; inval_acks } ->
+    handle_fwd t p ~src ~kind ~requester ~inval_acks m
+  | Data_reply { kind; from_home = _; inval_acks } ->
+    handle_data_reply t p ~kind ~inval_acks
+  | Upgrade_reply { inval_acks } -> handle_upgrade_reply t p ~inval_acks
+  | Invalidate { requester } -> handle_invalidate t p ~src ~requester m
+  | Inval_ack -> handle_inval_ack t p
+  | Sharing_wb { new_sharer } -> handle_sharing_wb t p ~new_sharer
+  | Own_ack -> handle_own_ack t p
+  | Downgrade { target } -> handle_downgrade_msg t p ~target
+
+(* ---------------- directory (home) side ---------------- *)
+
+and handle_dir_request t p ~src ~kind =
+  if p <> t.home then violation "directory request handled off-home";
+  let e = t.st.dir in
+  if e.busy then begin
+    hit t "dir.busy_queue";
+    e.queue <- (src, kind) :: e.queue
+  end
+  else
+    match kind with
+    | Read -> handle_read_request t p ~src
+    | Readex -> handle_readex_request t p ~src
+    | Upgrade ->
+      if bmem src e.sharers then handle_upgrade_request t p ~src
+      else begin
+        hit t "dir.upgrade_as_readex";
+        handle_readex_request t p ~src
+      end
+
+and handle_read_request t p ~src =
+  let e = t.st.dir in
+  if node_has_valid t p then begin
+    match (nd t p).nbase with
+    | S ->
+      hit t "dir.read.serve_shared";
+      e.sharers <- badd src (badd p e.sharers);
+      reply_data t p ~dst:src ~kind:Read ~inval_acks:0
+    | E ->
+      hit t "dir.read.home_exclusive";
+      e.busy <- true;
+      start_node_downgrade t p ~target:S ~deferred:(Reply_read { requester = src })
+    | I -> violation "read request: home node valid yet state Invalid"
+  end
+  else begin
+    hit t "dir.read.forward";
+    e.busy <- true;
+    send t p e.owner (Fwd { kind = Read; requester = src; inval_acks = 0 })
+  end
+
+and send_invalidate t p ~requester q =
+  if node_of q = node_of p then begin
+    hit t "inval.inline";
+    handle_invalidate t p ~src:p ~requester (Invalidate { requester })
+  end
+  else send t p q (Invalidate { requester })
+
+and handle_readex_request t p ~src =
+  let e = t.st.dir in
+  if node_has_valid t p then begin
+    hit t "dir.readex.home_valid";
+    let invals =
+      List.filter
+        (fun q -> node_of q <> node_of p && node_of q <> node_of src)
+        (belements e.sharers)
+    in
+    List.iter (send_invalidate t p ~requester:src) invals;
+    let acks = List.length invals in
+    e.owner <- src;
+    e.sharers <- badd src 0;
+    e.busy <- true;
+    start_node_downgrade t p ~target:I
+      ~deferred:(Reply_readex { requester = src; inval_acks = acks })
+  end
+  else begin
+    hit t "dir.readex.forward";
+    let owner = e.owner in
+    let invals =
+      List.filter
+        (fun q -> node_of q <> node_of owner && node_of q <> node_of src)
+        (belements e.sharers)
+    in
+    List.iter (send_invalidate t p ~requester:src) invals;
+    let acks = List.length invals in
+    e.owner <- src;
+    e.sharers <- badd src 0;
+    e.busy <- true;
+    send t p owner (Fwd { kind = Readex; requester = src; inval_acks = acks })
+  end
+
+and handle_upgrade_request t p ~src =
+  hit t "dir.upgrade.serve";
+  let e = t.st.dir in
+  let invals =
+    List.filter (fun q -> node_of q <> node_of src) (belements e.sharers)
+  in
+  List.iter (send_invalidate t p ~requester:src) invals;
+  e.owner <- src;
+  e.sharers <- badd src 0;
+  send t p src (Upgrade_reply { inval_acks = List.length invals })
+
+and drain_dir_queue t p =
+  let e = t.st.dir in
+  let rec loop () =
+    if not e.busy then
+      match List.rev e.queue with
+      | [] -> ()
+      | (src, kind) :: rest ->
+        e.queue <- List.rev rest;
+        hit t "dir.drain";
+        (match kind with
+        | Read -> handle_read_request t p ~src
+        | Readex -> handle_readex_request t p ~src
+        | Upgrade ->
+          if bmem src e.sharers then handle_upgrade_request t p ~src
+          else handle_readex_request t p ~src);
+        loop ()
+  in
+  loop ()
+
+and handle_sharing_wb t p ~new_sharer =
+  let e = t.st.dir in
+  e.sharers <- badd new_sharer (badd e.owner e.sharers);
+  e.busy <- false;
+  drain_dir_queue t p
+
+and handle_own_ack t p =
+  t.st.dir.busy <- false;
+  drain_dir_queue t p
+
+(* ---------------- owner / sharer side ---------------- *)
+
+and send_data t p ~dst ~kind ~inval_acks =
+  send t p dst (Data_reply { kind; from_home = p = t.home; inval_acks })
+
+and reply_data t p ~dst ~kind ~inval_acks = send_data t p ~dst ~kind ~inval_acks
+
+and handle_fwd t p ~src ~kind ~requester ~inval_acks m =
+  let n = nd t p in
+  match n.down with
+  | Some dg ->
+    hit t "fwd.queued_on_downgrade";
+    dg.d_queued <- (src, m) :: dg.d_queued
+  | None -> (
+    match n.miss with
+    | Some e when (not e.e_ready) && n.nbase = I ->
+      hit t "fwd.queued_on_miss";
+      e.e_fwds <- (src, m) :: e.e_fwds
+    | Some _ | None -> (
+      match kind with
+      | Read -> (
+        match n.nbase with
+        | E ->
+          hit t "fwd.read.exclusive";
+          start_node_downgrade t p ~target:S
+            ~deferred:(Reply_read { requester })
+        | S ->
+          hit t "fwd.read.shared";
+          execute_deferred t p ~target:S ~deferred:(Reply_read { requester })
+        | I -> violation "read forwarded to an owner with no copy")
+      | Readex ->
+        if n.nbase = I then
+          violation "readex forwarded to an owner with no copy";
+        hit t "fwd.readex";
+        start_node_downgrade t p ~target:I
+          ~deferred:(Reply_readex { requester; inval_acks })
+      | Upgrade ->
+        violation "upgrade forwarded to an owner (upgrades are home-served)"))
+
+and handle_invalidate t p ~src ~requester m =
+  let n = nd t p in
+  match n.down with
+  | Some dg ->
+    hit t "inval.queued_on_downgrade";
+    dg.d_queued <- (src, m) :: dg.d_queued
+  | None -> (
+    match n.miss with
+    | Some e when not e.e_ready ->
+      (if e.e_kind = Read then begin
+         hit t "inval.mark_after_reply";
+         e.e_iar <- true
+       end
+       else begin
+         hit t "inval.kill_current_copy";
+         if n.nbase <> I then begin
+           stamp_invalid t p;
+           List.iter
+             (fun q -> lower_private t p q I)
+             (procs_of_node (node_of p));
+           set_nbase t p I
+         end
+       end);
+      send t p requester Inval_ack
+    | Some _ | None -> (
+      match n.nbase with
+      | S | E ->
+        hit t "inval.downgrade";
+        start_node_downgrade t p ~target:I
+          ~deferred:(Inval_done { requester })
+      | I ->
+        hit t "inval.stale_ack";
+        send t p requester Inval_ack))
+
+(* ---------------- downgrades (section 3.4.3) ---------------- *)
+
+and start_node_downgrade t p ~target ~deferred =
+  let n = nd t p in
+  let targets =
+    List.filter
+      (fun q -> rank t.st.priv.(q) > rank target)
+      [ sibling p ]
+  in
+  lower_private t p p target;
+  match targets with
+  | [] ->
+    hit t "downgrade.immediate";
+    execute_deferred t p ~target ~deferred
+  | _ ->
+    hit t "downgrade.sibling";
+    if n.down <> None then
+      violation "downgrade started with one already in progress";
+    n.down <-
+      Some
+        {
+          d_target = target;
+          d_deferred = deferred;
+          d_remaining = List.length targets;
+          d_queued = [];
+        };
+    set_pdg t p true;
+    List.iter (fun q -> send t p q (Downgrade { target })) targets
+
+and handle_downgrade_msg t p ~target =
+  if not (fault_is t Config.Skip_private_downgrade) then
+    lower_private t p p target;
+  let n = nd t p in
+  match n.down with
+  | None -> violation "downgrade message with no downgrade in progress"
+  | Some dg ->
+    dg.d_remaining <- dg.d_remaining - 1;
+    if dg.d_remaining = 0 then begin
+      hit t "downgrade.complete";
+      n.down <- None;
+      set_pdg t p false;
+      execute_deferred t p ~target:dg.d_target ~deferred:dg.d_deferred;
+      List.iter
+        (fun (src, m) ->
+          hit t "downgrade.replay";
+          handle_message t p ~src m)
+        (List.rev dg.d_queued)
+    end
+
+and execute_deferred t p ~target ~deferred =
+  let n = nd t p in
+  if n.down <> None then
+    violation "deferred action ran with a downgrade still pending";
+  match deferred with
+  | Reply_read { requester } ->
+    if target <> S then violation "read downgrade with a non-Shared target";
+    hit t "deferred.reply_read";
+    set_nbase t p S;
+    send_data t p ~dst:requester ~kind:Read ~inval_acks:0;
+    if p = t.home then handle_sharing_wb t p ~new_sharer:requester
+    else send t p t.home (Sharing_wb { new_sharer = requester })
+  | Reply_readex { requester; inval_acks } ->
+    if target <> I then violation "readex downgrade with a non-Invalid target";
+    hit t "deferred.reply_readex";
+    stamp_invalid t p;
+    set_nbase t p I;
+    send_data t p ~dst:requester ~kind:Readex ~inval_acks
+  | Inval_done { requester } ->
+    if target <> I then violation "inval downgrade with a non-Invalid target";
+    hit t "deferred.inval_done";
+    stamp_invalid t p;
+    set_nbase t p I;
+    send t p requester Inval_ack
+
+(* ---------------- requester side: replies ---------------- *)
+
+and complete_if_ready t p e =
+  let n = nd t p in
+  let complete =
+    e.e_ready && e.e_acks_expected >= 0
+    && e.e_acks_received >= e.e_acks_expected
+  in
+  if complete then begin
+    hit t "entry.retire";
+    let fwds = List.rev e.e_fwds in
+    e.e_fwds <- [];
+    n.miss <- None;
+    List.iter (fun (src, m) -> handle_message t p ~src m) fwds
+  end
+  else if e.e_ready then begin
+    let fwds = List.rev e.e_fwds in
+    e.e_fwds <- [];
+    if fwds <> [] then hit t "entry.serve_early";
+    List.iter (fun (src, m) -> handle_message t p ~src m) fwds
+  end
+
+and handle_data_reply t p ~kind ~inval_acks =
+  let n = nd t p in
+  match n.miss with
+  | None -> violation "data reply with no outstanding miss"
+  | Some e ->
+    if e.e_ready then violation "data reply on an already-ready entry";
+    n.stamped <- false;
+    let new_state = match kind with Read -> S | Readex | Upgrade -> E in
+    set_nbase t p new_state;
+    set_pending t p false;
+    raise_private t p p new_state;
+    e.e_ready <- true;
+    e.e_acks_expected <- inval_acks;
+    if kind = Readex then
+      if p = t.home then handle_own_ack t p else send t p t.home Own_ack;
+    if e.e_iar then begin
+      hit t "entry.inval_after_reply";
+      e.e_iar <- false;
+      stamp_invalid t p;
+      lower_private t p p I;
+      set_nbase t p I
+    end;
+    if e.e_uar && e.e_kind = Read then begin
+      hit t "entry.chain_ownership";
+      e.e_uar <- false;
+      e.e_ready <- false;
+      e.e_acks_expected <- -1;
+      let kind2 = if n.nbase = S then Upgrade else Readex in
+      e.e_kind <- kind2;
+      set_pending t p true;
+      send t p t.home (Req kind2)
+    end
+    else complete_if_ready t p e
+
+and handle_upgrade_reply t p ~inval_acks =
+  let n = nd t p in
+  match n.miss with
+  | None -> violation "upgrade reply with no outstanding miss"
+  | Some e ->
+    if e.e_ready then violation "upgrade reply on an already-ready entry";
+    set_nbase t p E;
+    set_pending t p false;
+    raise_private t p p E;
+    e.e_ready <- true;
+    e.e_acks_expected <- inval_acks;
+    complete_if_ready t p e
+
+and handle_inval_ack t p =
+  let n = nd t p in
+  match n.miss with
+  | None -> violation "invalidation ack with no outstanding miss"
+  | Some e ->
+    e.e_acks_received <- e.e_acks_received + 1;
+    complete_if_ready t p e
+
+(* ---------------- processor accesses ---------------- *)
+
+let new_entry kind =
+  {
+    e_kind = kind;
+    e_ready = false;
+    e_acks_expected = -1;
+    e_acks_received = 0;
+    e_uar = false;
+    e_iar = false;
+    e_fwds = [];
+  }
+
+(* Checked load: the inline check reads the copy's content; only a
+   flagged word enters the protocol (Protocol.load_miss). An Invalid
+   copy whose content is NOT flagged (possible only transiently around
+   merged non-blocking stores, or under Skip_flag_stamp) is read as
+   data without any protocol action -- which is exactly how that fault
+   manifests in the real system. *)
+let do_load t p =
+  let n = nd t p in
+  if not n.stamped then hit t "load.hit"
+  else if n.nbase <> I then begin
+    (* False miss (flagged content over a valid copy). Unreachable in
+       the one-word abstraction -- kept as the mirror of load_miss's
+       Valid branch so the dead-branch report documents it. *)
+    if n.pdg then hit t "load.pdg_consume"
+    else if rank t.st.priv.(p) = 0 then begin
+      hit t "load.private_upgrade";
+      raise_private t p p S
+    end
+    else hit t "load.false_miss"
+  end
+  else
+    match n.miss with
+    | Some e when not e.e_ready -> hit t "load.stall_data"
+    | Some _ -> hit t "load.stall_drain"
+    | None ->
+      hit t "load.issue";
+      n.miss <- Some (new_entry Read);
+      set_pending t p true;
+      send t p t.home (Req Read)
+
+(* Checked store: private Exclusive writes through; anything else
+   enters Protocol.store_miss. *)
+let do_store t p =
+  let n = nd t p in
+  if rank t.st.priv.(p) = 2 then begin
+    hit t "store.hit";
+    n.stamped <- false
+  end
+  else begin
+    let pdg = n.pdg and base = n.nbase in
+    if pdg && base = E then begin
+      hit t "store.pre_downgrade";
+      n.stamped <- false
+    end
+    else if (not pdg) && base = E then begin
+      hit t "store.private_upgrade";
+      if rank t.st.priv.(p) < 2 then raise_private t p p E;
+      n.stamped <- false
+    end
+    else
+      match n.miss with
+      | Some e when e.e_ready -> hit t "store.stall_drain"
+      | Some e ->
+        hit t "store.merge";
+        if e.e_kind = Read then e.e_uar <- true;
+        n.stamped <- false
+      | None ->
+        hit t "store.issue";
+        let kind = if base = S then Upgrade else Readex in
+        n.miss <- Some (new_entry kind);
+        set_pending t p true;
+        n.stamped <- false;
+        send t p t.home (Req kind)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Actions and stepping.                                               *)
+
+type action = Load of int | Store of int | Deliver of { src : int; dst : int }
+
+(* Delivery rule derived from arrival-order handling with per-class
+   latencies (see the [state] comment): an in-flight message is
+   deliverable iff every earlier in-flight message has strictly higher
+   minimum-latency rank and lives on a different (src, dst) pair.
+   Scanning in send order, that is: rank strictly below the running
+   minimum, pair not yet seen. *)
+let deliverable st =
+  let acc = ref [] in
+  let minrank = ref max_int in
+  let seen = ref [] in
+  List.iter
+    (fun (src, dst, m) ->
+      let r = rank_of src dst m in
+      if r < !minrank && not (List.mem (src, dst) !seen) then
+        acc := (src, dst) :: !acc;
+      if r < !minrank then minrank := r;
+      seen := (src, dst) :: !seen)
+    st.net;
+  List.rev !acc
+
+let enabled_actions st =
+  let acc = ref [] in
+  List.iter
+    (fun (src, dst) -> acc := Deliver { src; dst } :: !acc)
+    (List.rev (deliverable st));
+  for p = nprocs - 1 downto 0 do
+    acc := Load p :: Store p :: !acc
+  done;
+  !acc
+
+(* Describe [action] against [st] (before executing it), for
+   counterexample traces — computed up front so a violating step still
+   has its description. *)
+let describe_action st = function
+  | Load p -> Printf.sprintf "p%d: load" p
+  | Store p -> Printf.sprintf "p%d: store" p
+  | Deliver { src; dst } -> (
+    match List.find_opt (fun (s, d, _) -> s = src && d = dst) st.net with
+    | Some (_, _, m) ->
+      Printf.sprintf "deliver %s p%d->p%d" (msg_name m) src dst
+    | None -> Printf.sprintf "deliver <empty> p%d->p%d" src dst)
+
+(* Execute [action] against [t.st], mutating it in place. Raises
+   [Model_violation] when a handler reaches one of the real protocol's
+   impossible-configuration checks; sets [t.overflow] when a send
+   exceeded the channel bound (the explorer prunes the result). *)
+let step t action =
+  t.overflow <- false;
+  match action with
+  | Load p -> do_load t p
+  | Store p -> do_store t p
+  | Deliver { src; dst } -> (
+    (* Remove the oldest in-flight (src, dst) entry from the queue. *)
+    let rec take = function
+      | [] -> violation "deliver from an empty channel"
+      | ((s, d, m) as e) :: rest ->
+        if s = src && d = dst then (m, rest)
+        else
+          let m', rest' = take rest in
+          (m', e :: rest')
+    in
+    let m, rest = take t.st.net in
+    t.st.net <- rest;
+    handle_message t dst ~src m)
+
+(* ------------------------------------------------------------------ *)
+(* Invariants: the Inspect.report sweep over the abstract state. A
+   block with protocol activity in flight (mirrored by its table
+   entries and bits -- every in-flight coherence message implies such a
+   marker) may break the settled-state invariants transiently. *)
+
+let transient st =
+  Array.exists
+    (fun n -> n.miss <> None || n.down <> None || n.pending || n.pdg)
+    st.nodes
+  || st.dir.busy || st.dir.queue <> []
+
+let check_invariants st =
+  let bad = ref [] in
+  let push what = bad := what :: !bad in
+  let tr = transient st in
+  let exclusive = ref 0 and valid = ref 0 in
+  Array.iteri
+    (fun i n ->
+      (match n.nbase with
+      | E ->
+        incr exclusive;
+        incr valid
+      | S -> incr valid
+      | I -> ());
+      if n.pending && n.miss = None then
+        push (Printf.sprintf "node %d: pending with no outstanding miss" i);
+      (match (n.pdg, n.down) with
+      | true, None ->
+        push (Printf.sprintf "node %d: pending-downgrade with no downgrade entry" i)
+      | false, Some _ ->
+        push
+          (Printf.sprintf "node %d: downgrade entry without pending-downgrade bit" i)
+      | _ -> ());
+      if (not tr) && n.nbase = I && not n.stamped then
+        push (Printf.sprintf "node %d: invalid without flag pattern" i))
+    st.nodes;
+  if !exclusive > 1 then push (Printf.sprintf "%d exclusive nodes" !exclusive);
+  if (not tr) && !exclusive = 1 && !valid > 1 then
+    push "exclusive node coexists with sharers";
+  if (not tr) && !valid = 0 then push "no valid copy anywhere";
+  Array.iteri
+    (fun p pv ->
+      if rank pv > rank st.nodes.(node_of p).nbase then
+        push
+          (Printf.sprintf "proc %d: private %s overstates node state %s" p
+             (base_name pv)
+             (base_name st.nodes.(node_of p).nbase)))
+    st.priv;
+  List.rev !bad
+
+(* ------------------------------------------------------------------ *)
+(* The complete branch vocabulary, for the dead-branch report. *)
+
+let all_branches =
+  [
+    "msg:read_req"; "msg:readex_req"; "msg:upgrade_req"; "msg:read_fwd";
+    "msg:readex_fwd"; "msg:upgrade_fwd"; "msg:data_reply"; "msg:upgrade_reply";
+    "msg:invalidate"; "msg:inval_ack"; "msg:sharing_wb"; "msg:own_ack";
+    "msg:downgrade";
+    "dir.busy_queue"; "dir.upgrade_as_readex"; "dir.read.serve_shared";
+    "dir.read.home_exclusive"; "dir.read.forward"; "dir.readex.home_valid";
+    "dir.readex.forward"; "dir.upgrade.serve"; "dir.drain";
+    "inval.inline"; "inval.queued_on_downgrade"; "inval.mark_after_reply";
+    "inval.kill_current_copy"; "inval.downgrade"; "inval.stale_ack";
+    "fwd.queued_on_downgrade"; "fwd.queued_on_miss"; "fwd.read.exclusive";
+    "fwd.read.shared"; "fwd.readex";
+    "downgrade.immediate"; "downgrade.sibling"; "downgrade.complete";
+    "downgrade.replay";
+    "deferred.reply_read"; "deferred.reply_readex"; "deferred.inval_done";
+    "entry.retire"; "entry.serve_early"; "entry.inval_after_reply";
+    "entry.chain_ownership";
+    "load.hit"; "load.pdg_consume"; "load.private_upgrade"; "load.false_miss";
+    "load.stall_data"; "load.stall_drain"; "load.issue";
+    "store.hit"; "store.pre_downgrade"; "store.private_upgrade";
+    "store.stall_drain"; "store.merge"; "store.issue";
+  ]
+
+(* Branches that are structurally unreachable in the abstraction and
+   therefore expected to show up dead; listed so the dead report can
+   separate expected rot from real rot. Two families:
+
+   One-word, one-block artifacts (content aliasing and defensive
+   mirrors that a single checked word cannot produce):
+   - msg:upgrade_fwd: upgrades are home-served; the Fwd Upgrade
+     constructor exists only as a violation path.
+   - load.pdg_consume / load.private_upgrade / load.false_miss:
+     a checked load on the only word of the only block either hits or
+     takes the full miss path; the partial-line states these branches
+     serve cannot arise.
+
+   Ordered-delivery artifacts: under the constant-latency network
+   (see [enabled_actions]) in the 2-node geometry, directory busy
+   serializes the transactions whose overlap these branches absorb:
+   - dir.read.serve_shared: home Shared with a remote invalid reader
+     needs a third node; with two nodes every path that leaves home
+     Shared also leaves the other node Shared (reads that downgrade the
+     remote owner hand the data to the only other node).
+   - inval.stale_ack: a stale invalidate needs the invalidate to
+     overtake a later ownership grant to the same destination, which
+     ordered delivery forbids.
+   - inval.queued_on_downgrade / fwd.queued_on_downgrade /
+     downgrade.replay: a message landing inside an open §3.4.3
+     downgrade window needs a second transaction to race the window's
+     intra-node downgrade round trip; the busy bit plus
+     cheapest-transfer-only overtaking close that race here.
+   - fwd.queued_on_miss / entry.serve_early / fwd.read.shared:
+     a forward reaching a node that is itself mid-miss (or an owner
+     already demoted to Shared) needs the directory's owner update to
+     outrun the data reply it chases; with two nodes the only eligible
+     requesters are stalled on their own entry.
+
+   These hold for this geometry and delivery discipline, not for the
+   full simulator: the dynamic litmus/fuzz harnesses do exercise the
+   queued-forward and replay paths of lib/core/protocol.ml. *)
+let expected_dead =
+  [
+    "msg:upgrade_fwd";
+    "load.pdg_consume"; "load.private_upgrade"; "load.false_miss";
+    "dir.read.serve_shared"; "inval.stale_ack";
+    "inval.queued_on_downgrade"; "fwd.queued_on_downgrade";
+    "downgrade.replay";
+    "fwd.queued_on_miss"; "entry.serve_early"; "fwd.read.shared";
+  ]

@@ -1,0 +1,187 @@
+(** Abstract model of the per-block coherence protocol: a pure mirror
+    of the [lib/core/protocol.ml] handlers, specialized to the litmus
+    geometry (2 coherence nodes x 2 processors, SMP variant, one block)
+    with data abstracted to one invalid-flag bit per node copy.
+    {!Reach} enumerates its complete reachable state space under a
+    channel bound; {!Conform} checks real runs against its label set. *)
+
+(** {1 Geometry} *)
+
+val nprocs : int
+(** 4: two processors on each of two coherence nodes. *)
+
+val nnodes : int
+val node_of : int -> int
+val sibling : int -> int
+
+(** {1 Vocabulary} *)
+
+type base = I | S | E
+
+val rank : base -> int
+val base_name : base -> string
+
+type kind = Read | Readex | Upgrade
+
+val kind_name : kind -> string
+
+(** The coherence subset of the {!Shasta_core.Msg} vocabulary (tags
+    0-12); sync messages (locks, barriers) do not touch per-block state
+    and are outside the model. *)
+type msg =
+  | Req of kind
+  | Fwd of { kind : kind; requester : int; inval_acks : int }
+  | Data_reply of { kind : kind; from_home : bool; inval_acks : int }
+  | Upgrade_reply of { inval_acks : int }
+  | Invalidate of { requester : int }
+  | Inval_ack
+  | Sharing_wb of { new_sharer : int }
+  | Own_ack
+  | Downgrade of { target : base }
+
+val coherence_tags : int
+(** 13: model messages map onto [Msg] tags [0 .. coherence_tags - 1]. *)
+
+val tag : msg -> int
+(** Index into {!Shasta_core.Msg.tag_names}. *)
+
+val msg_name : msg -> string
+
+(** {1 Abstract state}
+
+    Mutable records stepped in place; the explorer deep-copies via
+    {!copy_state} before each step and never mutates a state after
+    interning it, so structural equality and hashing canonicalize. *)
+
+type deferred =
+  | Reply_read of { requester : int }
+  | Reply_readex of { requester : int; inval_acks : int }
+  | Inval_done of { requester : int }
+
+type down = {
+  d_target : base;
+  d_deferred : deferred;
+  mutable d_remaining : int;
+  mutable d_queued : (int * msg) list;
+}
+
+type entry = {
+  mutable e_kind : kind;
+  mutable e_ready : bool;
+  mutable e_acks_expected : int;
+  mutable e_acks_received : int;
+  mutable e_uar : bool;
+  mutable e_iar : bool;
+  mutable e_fwds : (int * msg) list;
+}
+
+type nodest = {
+  mutable nbase : base;
+  mutable pending : bool;
+  mutable pdg : bool;
+  mutable stamped : bool;
+  mutable miss : entry option;
+  mutable down : down option;
+}
+
+type dirst = {
+  mutable owner : int;
+  mutable sharers : int;
+  mutable busy : bool;
+  mutable queue : (int * kind) list;
+}
+
+type state = {
+  dir : dirst;
+  nodes : nodest array;
+  priv : base array;
+  mutable net : (int * int * msg) list;
+      (** in-flight messages as (src, dst, msg) in send order —
+          delivery follows the simulator's arrival-order semantics with
+          minimum-latency ranks (see {!enabled_actions}) *)
+}
+
+val copy_state : state -> state
+
+val initial : home:int -> state
+(** Post-allocation state: the home's node holds an exclusive unstamped
+    copy (home processor's private state Exclusive), the other node is
+    invalid and flag-stamped. *)
+
+(** {1 Conformance labels}
+
+    The schedule-independent projection of the Observer hook stream;
+    see {!Conform}. *)
+
+type label =
+  | L_state of { at_home : bool; from_ : int; to_ : int }
+  | L_private of { at_home : bool; self : bool; from_ : int; to_ : int }
+  | L_pending of { at_home : bool; set : bool }
+  | L_pdg of { at_home : bool; set : bool }
+  | L_send of { tg : int; src_home : bool; dst_home : bool; same_node : bool }
+
+val describe_label : label -> string
+
+(** {1 Stepping} *)
+
+exception Model_violation of string
+(** A handler reached one of the real protocol's
+    impossible-configuration checks ([Protocol_violation] sites). *)
+
+type t = {
+  home : int;
+  bound : int;
+  fault : Shasta_core.Config.fault option;
+  mutable on_label : label -> unit;
+  mutable on_branch : string -> unit;
+  mutable overflow : bool;
+  mutable st : state;
+}
+
+val create :
+  ?home:int -> ?bound:int -> ?fault:Shasta_core.Config.fault -> unit -> t
+(** [home] defaults to 2 (so the home node also has a non-home sibling
+    processor), [bound] to 2 in-flight messages per (src, dst) pair. *)
+
+type action = Load of int | Store of int | Deliver of { src : int; dst : int }
+
+val enabled_actions : state -> action list
+(** Checked load / checked store on the block by every processor, plus
+    the deliverable messages: in-flight entries every earlier entry of
+    which has strictly higher minimum-latency rank (intra-node control
+    < intra-node data < remote control < remote data) and a different
+    (src, dst) pair — a later send can only overtake an earlier one
+    with a strictly cheaper transfer, and never on its own pair. *)
+
+val describe_action : state -> action -> string
+
+val step : t -> action -> unit
+(** Execute one action against [t.st] in place, emitting labels and
+    branch names through the hooks. Raises {!Model_violation} at a
+    defensive-check site; sets [t.overflow] when a send exceeded
+    [t.bound] (the explorer prunes such successors). *)
+
+(** {1 Invariants} *)
+
+val transient : state -> bool
+(** Protocol activity in flight: any miss/downgrade entry, pending or
+    pending-downgrade bit, busy directory or non-empty directory queue.
+    Every in-flight coherence message implies such a marker. *)
+
+val check_invariants : state -> string list
+(** The {!Shasta_core.Inspect} sweep over the abstract state:
+    single-Exclusive, exclusive-implies-rest-invalid, some-valid-copy,
+    pending<->miss, pdg<->downgrade-entry, invalid-implies-stamped
+    (settled states only), private-never-overstates-node. *)
+
+(** {1 Coverage} *)
+
+val all_branches : string list
+(** Every branch name the transition relation can emit, for the
+    dead-branch report. *)
+
+val expected_dead : string list
+(** Branches structurally unreachable in the abstraction — one-word
+    one-block artifacts plus paths that need message races the
+    ordered-delivery discipline forbids in this geometry; listed
+    separately by [verify --reach --dead]. *)

@@ -1,0 +1,205 @@
+(* Static verifier for Dsm.Prog access programs.
+
+   An access program's address language is affine with literal byte
+   offsets (base(b) + off, off fixed at compile time), so the interval
+   analysis over addresses degenerates to exact per-access ranges: a
+   program is in-bounds iff every access's [off, off+8) lies inside the
+   declared extent of its base region, for any binding of the bases.
+   The checker therefore proves (not samples) memory safety of a
+   program against a spec of its region extents — the property the
+   runtime otherwise only discovers when a wild raw store lands outside
+   a batch's registered ranges.
+
+   Cycle-charge consistency is checked by two independent walkers that
+   mirror the charging disciplines of Dsm.Prog.run's two interpreters
+   (per-op observed dispatch vs. fused end-of-program charge). The
+   statically determined cycle totals must agree; if a future opcode is
+   charged differently by the two interpreters, the walkers diverge
+   here before any simulation does. *)
+
+module Prog = Shasta_core.Dsm.Prog
+
+type spec = {
+  base_lens : int array;
+      (** byte extents of base0..base2; 0 = base undeclared *)
+  aux_len : int;  (** scratch array length the program may index *)
+}
+
+let spec ?(base0 = 0) ?(base1 = 0) ?(base2 = 0) ?(aux = 0) () =
+  { base_lens = [| base0; base1; base2 |]; aux_len = aux }
+
+type finding = { f_op : string; f_pc : int; f_detail : string }
+
+let describe_finding f =
+  Printf.sprintf "pc %d (%s): %s" f.f_pc f.f_op f.f_detail
+
+(* ------------------------------------------------------------------ *)
+(* Per-instruction checks over the source instruction list.            *)
+
+let check_instrs ?consts ~nregs ~spec instrs =
+  let findings = ref [] in
+  let raw = ref false and checked = ref false in
+  let report pc op detail =
+    findings := { f_op = op; f_pc = pc; f_detail = detail } :: !findings
+  in
+  let reg pc op r =
+    if r < 0 || r >= nregs then
+      report pc op (Printf.sprintf "register %d out of range (nregs %d)" r nregs)
+  in
+  let konst pc op k =
+    match consts with
+    | None -> ()
+    | Some cs ->
+      if k < 0 || k >= Array.length cs then
+        report pc op
+          (Printf.sprintf "constant %d out of range (%d consts)" k
+             (Array.length cs))
+  in
+  let access pc op ~b ~off =
+    if b < 0 || b > 2 then
+      report pc op (Printf.sprintf "base index %d out of range" b)
+    else begin
+      let len = spec.base_lens.(b) in
+      if len = 0 then
+        report pc op
+          (Printf.sprintf "wild access: base%d is not declared by the spec" b)
+      else if off < 0 || off + 8 > len then
+        report pc op
+          (Printf.sprintf
+             "out of bounds: [%d, %d) outside base%d extent [0, %d)" off
+             (off + 8) b len);
+      if off land 7 <> 0 then
+        report pc op (Printf.sprintf "misaligned offset %d (need 8-byte)" off)
+    end
+  in
+  let aux pc op i =
+    if i < 0 || i >= spec.aux_len then
+      report pc op
+        (Printf.sprintf "aux index %d out of range (aux length %d)" i
+           spec.aux_len)
+  in
+  List.iteri
+    (fun pc instr ->
+      match instr with
+      | Prog.Ldf (r, b, off) ->
+        raw := true;
+        reg pc "ldf" r;
+        access pc "ldf" ~b ~off
+      | Prog.Stf (r, b, off) ->
+        raw := true;
+        reg pc "stf" r;
+        access pc "stf" ~b ~off
+      | Prog.Cldf (r, b, off) ->
+        checked := true;
+        reg pc "cldf" r;
+        access pc "cldf" ~b ~off
+      | Prog.Cstf (r, b, off) ->
+        checked := true;
+        reg pc "cstf" r;
+        access pc "cstf" ~b ~off
+      | Prog.Fms (a, b) ->
+        reg pc "fms" a;
+        reg pc "fms" b
+      | Prog.Add (a, b, c) ->
+        reg pc "add" a;
+        reg pc "add" b;
+        reg pc "add" c
+      | Prog.Sub (a, b, c) ->
+        reg pc "sub" a;
+        reg pc "sub" b;
+        reg pc "sub" c
+      | Prog.Mul (a, b, c) ->
+        reg pc "mul" a;
+        reg pc "mul" b;
+        reg pc "mul" c
+      | Prog.Mulk (a, b, k) ->
+        reg pc "mulk" a;
+        reg pc "mulk" b;
+        konst pc "mulk" k
+      | Prog.Movk (a, k) ->
+        reg pc "movk" a;
+        konst pc "movk" k
+      | Prog.Auxld (a, i) ->
+        reg pc "auxld" a;
+        aux pc "auxld" i
+      | Prog.Auxst (a, i) ->
+        reg pc "auxst" a;
+        aux pc "auxst" i
+      | Prog.Wrap (a, k) ->
+        reg pc "wrap" a;
+        konst pc "wrap" k;
+        (match consts with
+        | Some cs when k >= 0 && k < Array.length cs ->
+          (* A wrap folds r(a) into [0, box) by one period shift; a
+             non-positive (or NaN) box makes the fold unbalanced — it
+             can push a value further from the interval instead of into
+             it. *)
+          if not (cs.(k) > 0.0) then
+            report pc "wrap"
+              (Printf.sprintf "unbalanced wrap: box constant %g is not > 0"
+                 cs.(k))
+        | _ -> ())
+      | Prog.Charge n ->
+        if n < 0 then
+          report pc "charge" (Printf.sprintf "negative charge %d" n))
+    instrs;
+  if !raw && !checked then
+    report (List.length instrs) "program" "mixes raw and checked accesses";
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Cycle-charge consistency between the two interpreters.              *)
+
+(* Statically-charged cycles of the observed (per-op) interpreter: raw
+   accesses charge Batch.raw_cost each as they execute; Charge n runs
+   [compute n]. Checked accesses charge data-dependent protocol costs
+   identically in both interpreters and are outside the static total. *)
+let observed_charge instrs =
+  List.fold_left
+    (fun acc instr ->
+      match instr with
+      | Prog.Ldf _ | Prog.Stf _ -> acc + 1 (* Batch.raw_cost *)
+      | Prog.Charge n -> acc + n
+      | _ -> acc)
+    0 instrs
+
+(* Statically-charged cycles of the fused interpreter: raw accesses and
+   in-batch charges accumulate into one end-of-program lump. *)
+let fused_charge instrs =
+  let total =
+    List.fold_left
+      (fun acc instr ->
+        match instr with
+        | Prog.Ldf _ | Prog.Stf _ -> acc + 1 (* Batch.raw_cost *)
+        | Prog.Charge n -> acc + n
+        | _ -> acc)
+      0 instrs
+  in
+  total
+
+let check_charges instrs =
+  let o = observed_charge instrs and f = fused_charge instrs in
+  if o <> f then
+    [
+      {
+        f_op = "program";
+        f_pc = List.length instrs;
+        f_detail =
+          Printf.sprintf
+            "charge mismatch: observed interpreter totals %d cycles, fused \
+             totals %d"
+            o f;
+      };
+    ]
+  else []
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program entry point over a compiled program.                  *)
+
+let check_prog ~spec p =
+  match Prog.decode p with
+  | exception Prog.Prog_violation { op; pc; detail } ->
+    [ { f_op = op; f_pc = pc; f_detail = "decode: " ^ detail } ]
+  | instrs ->
+    check_instrs ~consts:(Prog.consts p) ~nregs:(Prog.nregs p) ~spec instrs
+    @ check_charges instrs

@@ -1,0 +1,38 @@
+(** Static verifier for {!Shasta_core.Dsm.Prog} access programs.
+
+    A program's address language is affine with literal offsets, so
+    interval analysis over addresses degenerates to exact per-access
+    ranges: the checker {e proves} every access in-bounds and 8-byte
+    aligned against a spec of the base-region extents, rejects wild
+    accesses to undeclared bases, unbalanced [Wrap]s (non-positive box),
+    negative charges and raw/checked mixing, and checks that the two
+    interpreters of [Prog.run] would charge identical static cycle
+    totals. Run at registration time ({!Registry}) and from
+    [shasta_cli verify --progs]. *)
+
+type spec = {
+  base_lens : int array;
+      (** byte extents of base0..base2; 0 = base undeclared: any access
+          through it is reported as wild *)
+  aux_len : int;  (** scratch array length the program may index *)
+}
+
+val spec : ?base0:int -> ?base1:int -> ?base2:int -> ?aux:int -> unit -> spec
+
+type finding = { f_op : string; f_pc : int; f_detail : string }
+
+val describe_finding : finding -> string
+
+val check_instrs :
+  ?consts:float array ->
+  nregs:int ->
+  spec:spec ->
+  Shasta_core.Dsm.Prog.instr list ->
+  finding list
+(** Check a source instruction list (including programs [compile] would
+    reject, e.g. negative charges — usable as a pre-compile lint).
+    Constant-index and wrap-box checks need [consts]. *)
+
+val check_prog : spec:spec -> Shasta_core.Dsm.Prog.t -> finding list
+(** Decode and check a compiled program, plus charge-consistency
+    between the observed and fused interpreters. Empty = verified. *)

@@ -1,0 +1,49 @@
+(** Exhaustive reachability over the abstract protocol model ({!Model}):
+    breadth-first enumeration of every state reachable under any
+    interleaving of checked accesses and message deliveries, with
+    bounded channels and interned (hash-consed) canonical states.
+    Checks the {!Model.check_invariants} sweep on every reachable state;
+    BFS order makes each reported counterexample minimal. *)
+
+type params = {
+  home : int;  (** pid hosting the block (default 2) *)
+  bound : int;  (** per-(src,dst) channel bound (default 2) *)
+  fault : Shasta_core.Config.fault option;
+  max_states : int;
+  stop_at_first : bool;  (** stop at the first violation (fault runs) *)
+}
+
+val default_params : params
+
+type violation = {
+  v_message : string;
+  v_trace : string list;  (** action descriptions, initial state first *)
+}
+
+type result = {
+  r_params : params;
+  r_states : int;
+  r_edges : int;
+  r_violations : violation list;
+  r_labels : (Model.label, unit) Hashtbl.t;
+      (** complete label vocabulary of the explored model — the
+          conformance reference set *)
+  r_branches : (string, unit) Hashtbl.t;
+  r_capped : bool;  (** [max_states] hit: enumeration incomplete *)
+}
+
+val explore : params -> result
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_result : Format.formatter -> result -> unit
+
+(** {1 Dead-coverage report} *)
+
+type dead = {
+  dead_branches : string list;  (** unexpectedly unreached: possible rot *)
+  dead_expected : string list;  (** unreached, structurally expected *)
+  unmodeled_tags : string list;  (** sync Msg tags outside the model *)
+}
+
+val dead_report : result -> dead
+val pp_dead : Format.formatter -> dead -> unit
