@@ -71,7 +71,7 @@ let shard_delta ((r0, w0, st0, sp0) : shard_snap)
 let host_cores () = Domain.recommended_domain_count ()
 
 let write_json ~name ~wall ~cycles ~jobs ~shards ~performed ~elided
-    ~cached_runs ~shard_info ~checks ~fast_hits =
+    ~cached_runs ~shard_info ~checks ~fast_hits ~crashes ~recovery_cycles =
   let file = Printf.sprintf "BENCH_%s.json" name in
   let oc = open_out file in
   (* With SHASTA_TRACE=1 the runner aggregates protocol metrics over
@@ -131,13 +131,15 @@ let write_json ~name ~wall ~cycles ~jobs ~shards ~performed ~elided
     \  \"yields_elided\": %d,\n\
     \  \"fastpath\": %b,\n\
     \  \"hit_fastpath_rate\": %.6f,\n\
+    \  \"crashes\": %d,\n\
+    \  \"recovery_cycles\": %d,\n\
     \  \"cached_runs\": %d%s%s%s\n\
      }\n"
     name wall cycles (E.Runner.seconds cycles) jobs shards (host_cores ())
     performed elided
     (Shasta_core.Config.env_fastpath ())
     (if checks = 0 then 0.0 else float_of_int fast_hits /. float_of_int checks)
-    cached_runs sharding metrics ycsb;
+    crashes recovery_cycles cached_runs sharding metrics ycsb;
   close_out oc;
   Printf.eprintf "[wrote %s]\n%!" file
 
@@ -236,6 +238,7 @@ let () =
         let c0 = E.Runner.simulated_cycles () in
         let yp0, ye0 = Engine.yield_counts () in
         let ck0, fh0 = E.Runner.fastpath_totals () in
+        let cr0, rc0 = E.Runner.crash_totals () in
         let s0 = E.Runner.shard_totals () in
         E.Runner.run_batch ~jobs (target.specs ~scale);
         let out = target.render ~scale in
@@ -277,11 +280,13 @@ let () =
         if !json then begin
           let yp1, ye1 = Engine.yield_counts () in
           let ck1, fh1 = E.Runner.fastpath_totals () in
+          let cr1, rc1 = E.Runner.crash_totals () in
           write_json ~name ~wall
             ~cycles:(E.Runner.simulated_cycles () - c0)
             ~jobs ~shards:shards_eff ~performed:(yp1 - yp0)
             ~elided:(ye1 - ye0)
             ~checks:(ck1 - ck0) ~fast_hits:(fh1 - fh0)
+            ~crashes:(cr1 - cr0) ~recovery_cycles:(rc1 - rc0)
             ~cached_runs:(E.Runner.cache_size ())
             ~shard_info
         end

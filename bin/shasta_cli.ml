@@ -613,6 +613,62 @@ let check_cmd =
       $ clustering_arg $ scale_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* crash: the crash-placement litmus sweep over both recovery modes. *)
+
+let run_crash budget max_runs ckpt_interval pull_only ckpt_only =
+  let module Litmus = Shasta_check.Litmus in
+  let rc = ref 0 in
+  let sweep mode =
+    let reports = Litmus.check_crash_all ~mode ~budget ~max_runs () in
+    List.iter (fun r -> Format.printf "%a@." Litmus.pp_crash_report r) reports;
+    if List.exists (fun r -> r.Litmus.cc_failures <> []) reports then rc := 1
+  in
+  if not ckpt_only then sweep Litmus.Pull;
+  if not pull_only then sweep (Litmus.Ckpt ckpt_interval);
+  !rc
+
+let crash_budget_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "budget" ] ~docv:"B"
+        ~doc:"Schedule deviations allowed around each crash placement.")
+
+let crash_max_runs_arg =
+  Arg.(
+    value & opt int 4_000
+    & info [ "max-runs" ] ~docv:"N"
+        ~doc:"Replay cap per scenario across all placements.")
+
+let ckpt_interval_arg =
+  Arg.(
+    value & opt int 2_048
+    & info [ "ckpt-interval" ] ~docv:"CYCLES"
+        ~doc:"Checkpoint interval for the checkpoint+log sweep.")
+
+let pull_only_arg =
+  Arg.(
+    value & flag
+    & info [ "pull" ] ~doc:"Only the sharer-pull recovery sweep.")
+
+let ckpt_only_arg =
+  Arg.(
+    value & flag
+    & info [ "ckpt" ] ~doc:"Only the checkpoint+log recovery sweep.")
+
+let crash_cmd =
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:
+         "Crash-fault litmus sweep: fail-stop a node at every \
+          in-flight-message window of each litmus scenario and require \
+          recovery (sharer-pull and checkpoint+log) to leave the survivors \
+          coherent — sanitizer, post-run invariants, and outcome checks \
+          clean, or the typed Recovery_violation")
+    Term.(
+      const run_crash $ crash_budget_arg $ crash_max_runs_arg
+      $ ckpt_interval_arg $ pull_only_arg $ ckpt_only_arg)
+
+(* ------------------------------------------------------------------ *)
 (* verify: the static-analysis passes (no simulation except the
    conformance runs and the lock-graph collection). *)
 
@@ -634,9 +690,9 @@ let run_verify reach progs locks dead fault bound seeds =
   let reach = reach || all and progs = progs || all and locks = locks || all in
   let rc = ref 0 in
   if reach then begin
-    let explore ?fault ?(stop = false) () =
+    let explore ?fault ?(stop = false) ?(crashes = false) () =
       Reach.explore
-        { Reach.default_params with Reach.bound; fault;
+        { Reach.default_params with Reach.bound; fault; crashes;
           stop_at_first = stop }
     in
     match fault with
@@ -674,6 +730,19 @@ let run_verify reach progs locks dead fault bound seeds =
           ("skip-private-downgrade", Config.Skip_private_downgrade);
           ("skip-flag-stamp", Config.Skip_flag_stamp);
         ];
+      (* Crash transitions: re-explore with the node-crash step enabled
+         (fail-stop plus Recover.rebuild as one atomic action at every
+         state); the rebuilt states must satisfy the same invariant
+         sweep. *)
+      let rcr = explore ~crashes:true () in
+      Format.printf "crash: %a@." Reach.pp_result rcr;
+      List.iter
+        (fun v ->
+          Format.printf "%a@." Reach.pp_violation v;
+          rc := 1)
+        rcr.Reach.r_violations;
+      if dead then
+        Format.printf "crash: %a@." Reach.pp_dead (Reach.dead_report rcr);
       (* Conformance: litmus runs may only perform model-vocabulary
          transitions. *)
       let reports = Shasta_check.Conformance.check_all ~seeds () in
@@ -888,5 +957,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "shasta" ~doc)
-          [ run_cmd; report_cmd; ycsb_cmd; check_cmd; verify_cmd; trace_cmd;
+          [ run_cmd; report_cmd; ycsb_cmd; check_cmd; crash_cmd; verify_cmd;
+            trace_cmd;
             list_cmd ]))

@@ -37,9 +37,18 @@ let check_scenario ?(seeds = 64) (sc : Litmus.scenario) =
   let order = ref [] in
   let one choose =
     let inst = sc.Litmus.make ~fault:None in
-    let conf = Verify.Conform.make ~labels (Dsm.machine inst.Litmus.handle) in
+    let m = Dsm.machine inst.Litmus.handle in
+    let conf = Verify.Conform.make ~labels m in
     Dsm.add_observer inst.Litmus.handle conf.Verify.Conform.observer;
     Dsm.run_controlled ~choose inst.Litmus.handle inst.Litmus.body;
+    (* The reference vocabulary is the crash-free model's (see
+       Conform.reference): a run that crashed would project recovery
+       re-injections against labels that deliberately exclude them.
+       Conformance runs never schedule crashes; fail loudly if one did
+       rather than report spurious mismatches. *)
+    if m.Shasta_core.Machine.crashes > 0 then
+      failwith "conformance run crashed: crash runs are checked by the \
+                crash litmus sweep, not the conformance oracle";
     incr runs;
     events := !events + conf.Verify.Conform.events ();
     List.iter

@@ -17,6 +17,12 @@ type instance = {
   handle : Dsm.handle;
   body : Dsm.ctx -> unit;
   final : unit -> string option;  (** outcome check after a clean run *)
+  crash_final : live:(int -> bool) -> string option;
+      (** outcome check after a run with a scheduled crash: dead
+          processors never ran their final loads, and recovery may
+          legitimately roll a lost block back to an older (or zeroed)
+          value, so each live processor's observation need only be in
+          the scenario's reachable-value set *)
 }
 
 type scenario = {
@@ -30,6 +36,23 @@ type scenario = {
 let make_cfg fault =
   Config.create ~variant:Smp ~nprocs:4 ~procs_per_node:2 ~clustering:2
     ~heap_bytes:(64 * 1024) ~max_cycles:2_000_000 ~sanitize:1 ?fault ()
+
+(* Crash-aware outcome helper: every live processor's recorded value
+   must be in [allowed] (which always includes the zero a recovery
+   re-initialization can surface). *)
+let live_values ~live got allowed =
+  let bad = ref [] in
+  Array.iteri
+    (fun p v -> if live p && not (List.mem v allowed) then bad := (p, v) :: !bad)
+    got;
+  match List.rev !bad with
+  | [] -> None
+  | l ->
+    Some
+      (Printf.sprintf "live values outside {%s}: [%s]"
+         (String.concat ";" (List.map string_of_int allowed))
+         (String.concat ";"
+            (List.map (fun (p, v) -> Printf.sprintf "p%d=%d" p v) l)))
 
 (* Two sharers on one node, then an upgrade from the home node: the
    invalidation reaches one processor of node 0 (sibling misses
@@ -64,7 +87,8 @@ let two_sharer_upgrade =
                  (String.concat ";"
                     (Array.to_list (Array.map string_of_int got))))
         in
-        { handle = h; body; final })
+        let crash_final ~live = live_values ~live got [ 0; 42 ] in
+        { handle = h; body; final; crash_final })
   }
 
 (* Both processors of node 0 write (distinct words of) a block, so both
@@ -96,7 +120,9 @@ let exclusive_handoff =
                  (String.concat ";"
                     (Array.to_list (Array.map string_of_int sum))))
         in
-        { handle = h; body; final })
+        (* each word is 0 or its written value, independently *)
+        let crash_final ~live = live_values ~live sum [ 0; 7; 9; 16 ] in
+        { handle = h; body; final; crash_final })
   }
 
 (* Ownership stolen from a node whose processors both touched the block:
@@ -131,7 +157,8 @@ let store_steal =
                  (String.concat ";"
                     (Array.to_list (Array.map string_of_int got))))
         in
-        { handle = h; body; final })
+        let crash_final ~live = live_values ~live got [ 0; 1; 2 ] in
+        { handle = h; body; final; crash_final })
   }
 
 (* Lock-serialized increments ping-ponging a block between the nodes:
@@ -163,7 +190,10 @@ let lock_counter =
                  (String.concat ";"
                     (Array.to_list (Array.map string_of_int got))))
         in
-        { handle = h; body; final })
+        (* the counter is monotonic; dead processors' increments may or
+           may not have landed *)
+        let crash_final ~live = live_values ~live got [ 0; 1; 2; 3; 4 ] in
+        { handle = h; body; final; crash_final })
   }
 
 let scenarios = [ two_sharer_upgrade; exclusive_handoff; store_steal; lock_counter ]
@@ -206,21 +236,27 @@ type run_record = {
   seg_procs : int list array;  (** processors stepped after point i *)
   seg_dsts : int list array;  (** message destinations sent after point i *)
   nodes : int array;  (** proc -> coherence node *)
+  send_clocks : int list;  (** distinct send timestamps, ascending *)
   failure : string option;
 }
 
-let run_one sc ~fault (prefix : int array) =
-  let { handle = h; body; final } = sc.make ~fault in
+let run_one ?(mk_events = fun _ -> []) sc ~fault (prefix : int array) =
+  let { handle = h; body; final; crash_final } = sc.make ~fault in
   let m = Dsm.machine h in
+  let events = mk_events h in
   let san = Sanitizer.attach m in
   let lens = ref [] and cands = ref [] and segs = ref [] in
+  let clocks = ref [] in
   let nelig = ref 0 in
   let seg_proc p = match !segs with [] -> () | (ps, _) :: _ -> ps := p :: !ps in
   let seg_dst d = match !segs with [] -> () | (_, ds) :: _ -> ds := d :: !ds in
   Machine.add_observer m
     {
       Observer.nil with
-      Observer.on_send = (fun ~src:_ ~dst ~now:_ _ -> seg_dst dst);
+      Observer.on_send =
+        (fun ~src:_ ~dst ~now _ ->
+          seg_dst dst;
+          clocks := now :: !clocks);
     };
   (* Consecutive decisions with an identical alternative set are the
      same choice offered again a few cycles later: only the first one
@@ -252,7 +288,7 @@ let run_one sc ~fault (prefix : int array) =
   in
   let failure =
     try
-      Dsm.run_controlled ~choose h body;
+      Dsm.run_controlled ~choose ~events h body;
       if Sanitizer.violation_count san > 0 then
         Some
           ("sanitizer: "
@@ -260,7 +296,10 @@ let run_one sc ~fault (prefix : int array) =
               (List.map Inspect.describe (Sanitizer.violations san)))
       else
         match Inspect.report m with
-        | [] -> final ()
+        | [] ->
+          if m.Machine.crashes > 0 then
+            crash_final ~live:(fun p -> not m.Machine.dead.(p))
+          else final ()
         | vs ->
           Some
             ("post-run invariants: "
@@ -270,6 +309,8 @@ let run_one sc ~fault (prefix : int array) =
       Some (Printf.sprintf "livelock: processor %d hit the cycle limit" p)
     | Protocol.Protocol_violation _ as e -> Some (Printexc.to_string e)
     | Inspect.Violation _ as e -> Some (Printexc.to_string e)
+    | Shasta_recover.Recover.Recovery_violation _ as e ->
+      Some (Printexc.to_string e)
     | Invalid_argument msg -> Some ("Invalid_argument: " ^ msg)
     | Failure msg -> Some ("Failure: " ^ msg)
   in
@@ -280,6 +321,7 @@ let run_one sc ~fault (prefix : int array) =
     seg_dsts = Array.of_list (List.rev_map (fun (_, ds) -> List.rev !ds) !segs);
     nodes =
       Array.init m.Machine.cfg.Config.nprocs (fun p -> Machine.node_of m p);
+    send_clocks = List.sort_uniq compare !clocks;
     failure;
   }
 
@@ -371,3 +413,140 @@ let pp_report ppf r =
         (String.concat ";"
            (List.map string_of_int (List.hd fs).prefix))
         (List.hd fs).what)
+
+(* ------------------------------------------------------------------ *)
+(* Crash placement sweep: the same delay-bounded DFS, with a node crash
+   scheduled at a virtual cycle harvested from the default run's send
+   timestamps — every distinct in-flight-message window is a candidate
+   placement, so the crash lands mid-downgrade, mid-miss, mid-barrier,
+   and between a checkpoint and its log tail, not only at quiescent
+   points. Each placement is swept for both crashable nodes and
+   explored around with schedule deviations; a run passes when it
+   recovers with the sanitizer, the post-run invariant sweep, and the
+   crash-aware outcome check all clean, or fails with the typed
+   Recovery_violation (a Data_loss under sharer-pull recovery is the
+   documented honest outcome when every copy died, and is counted
+   rather than failed). *)
+
+type crash_mode = Pull | Ckpt of int  (** checkpoint interval, cycles *)
+
+type crash_failure = {
+  cf_at : int;  (** crash cycle *)
+  cf_node : int;  (** crashed node *)
+  cf_prefix : int list;  (** schedule deviation prefix *)
+  cf_what : string;
+}
+
+type crash_report = {
+  cc_scenario : string;
+  cc_mode : string;  (** "pull" or "ckpt" *)
+  cc_placements : int;  (** (cycle, node) pairs swept *)
+  cc_runs : int;
+  cc_data_loss : int;  (** typed Data_loss outcomes (pull mode only) *)
+  cc_capped : bool;
+  cc_failures : crash_failure list;
+}
+
+(* Evenly subsample [l] down to at most [k] elements. *)
+let subsample k l =
+  let n = List.length l in
+  if n <= k then l
+  else
+    let a = Array.of_list l in
+    List.init k (fun i -> a.(i * n / k))
+
+let is_data_loss what =
+  let pre = "Recovery_violation (Data_loss" in
+  String.length what >= String.length pre
+  && String.sub what 0 (String.length pre) = pre
+
+let check_crash ?(mode = Pull) ?(budget = 1) ?(max_runs = 4_000)
+    ?(max_clocks = 12) sc =
+  (* Harvest crash windows from the default schedule: one cycle past
+     each distinct send timestamp, so the sent message is in flight
+     when the node dies. *)
+  let r0 = run_one sc ~fault:None [||] in
+  let clocks =
+    subsample max_clocks (List.map (fun c -> c + 1) r0.send_clocks)
+  in
+  let placements =
+    List.concat_map (fun at -> [ (at, 0); (at, 1) ]) clocks
+  in
+  let runs = ref 0 and capped = ref false in
+  let data_loss = ref 0 and failures = ref [] in
+  List.iter
+    (fun (at, node) ->
+      let mk_events h =
+        match mode with
+        | Pull -> [ Shasta_recover.Crash.kill h ~node ~at ]
+        | Ckpt interval ->
+          let ckpt =
+            Shasta_recover.Checkpoint.attach (Dsm.machine h) ~interval
+          in
+          [ Shasta_recover.Crash.with_checkpoint h ~node ~at ~ckpt ]
+      in
+      let frontier = ref [ [||] ] in
+      while !frontier <> [] do
+        match !frontier with
+        | [] -> ()
+        | prefix :: rest ->
+          if !runs >= max_runs then begin
+            capped := true;
+            frontier := []
+          end
+          else begin
+            frontier := rest;
+            let r = run_one ~mk_events sc ~fault:None prefix in
+            incr runs;
+            (match r.failure with
+            | Some what when mode = Pull && is_data_loss what ->
+              incr data_loss
+            | Some what ->
+              failures :=
+                { cf_at = at; cf_node = node;
+                  cf_prefix = Array.to_list prefix; cf_what = what }
+                :: !failures
+            | None ->
+              let deviations =
+                Array.fold_left (fun a c -> if c > 0 then a + 1 else a) 0 prefix
+              in
+              if deviations < budget then
+                for d = Array.length r.lens - 1 downto Array.length prefix do
+                  for alt = r.lens.(d) - 1 downto 1 do
+                    if depends r d r.cands.(d).(alt) then begin
+                      let child = Array.make (d + 1) 0 in
+                      Array.blit prefix 0 child 0 (Array.length prefix);
+                      child.(d) <- alt;
+                      frontier := child :: !frontier
+                    end
+                  done
+                done)
+          end
+      done)
+    placements;
+  {
+    cc_scenario = sc.name;
+    cc_mode = (match mode with Pull -> "pull" | Ckpt _ -> "ckpt");
+    cc_placements = List.length placements;
+    cc_runs = !runs;
+    cc_data_loss = !data_loss;
+    cc_capped = !capped;
+    cc_failures = List.rev !failures;
+  }
+
+let check_crash_all ?mode ?budget ?max_runs ?max_clocks () =
+  List.map (fun sc -> check_crash ?mode ?budget ?max_runs ?max_clocks sc)
+    scenarios
+
+let pp_crash_report ppf r =
+  Format.fprintf ppf "%-20s %-4s %3d placements, %5d runs, %3d data-loss%s: %s"
+    r.cc_scenario r.cc_mode r.cc_placements r.cc_runs r.cc_data_loss
+    (if r.cc_capped then " (capped)" else "")
+    (match r.cc_failures with
+    | [] -> "ok"
+    | fs ->
+      let f = List.hd fs in
+      Format.asprintf "%d placement(s) FAILED, first: node %d @%d [%s] %s"
+        (List.length fs) f.cf_node f.cf_at
+        (String.concat ";" (List.map string_of_int f.cf_prefix))
+        f.cf_what)

@@ -34,6 +34,16 @@ let env_fastpath () =
   | Some "0" -> false
   | None | Some _ -> true
 
+(* SHASTA_CKPT: checkpoint interval in simulated cycles, 0 (the default)
+   means checkpointing off. *)
+let env_ckpt () =
+  match Sys.getenv_opt "SHASTA_CKPT" with
+  | None | Some "" | Some "0" -> 0
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> invalid_arg "SHASTA_CKPT: expected 0|interval>=1")
+
 type t = {
   variant : variant;
   nprocs : int;
@@ -52,6 +62,7 @@ type t = {
   trace : int;
   shards : int;
   fastpath : bool;
+  ckpt : int;
   fault : fault option;
 }
 
@@ -60,7 +71,7 @@ let create ?(variant = Base) ?(nprocs = 1) ?(procs_per_node = 4)
     ?(checks_enabled = true) ?(timing = Timing.default)
     ?(link = Shasta_net.Link.default) ?(max_cycles = 2_000_000_000)
     ?(seed = 42) ?(smp_sync = false) ?(share_directory = false)
-    ?sanitize ?trace ?shards ?fastpath ?fault () =
+    ?sanitize ?trace ?shards ?fastpath ?ckpt ?fault () =
   let sanitize =
     match sanitize with Some s -> max 0 s | None -> env_sanitize ()
   in
@@ -71,6 +82,7 @@ let create ?(variant = Base) ?(nprocs = 1) ?(procs_per_node = 4)
   let fastpath =
     match fastpath with Some b -> b | None -> env_fastpath ()
   in
+  let ckpt = match ckpt with Some n -> max 0 n | None -> env_ckpt () in
   if nprocs <= 0 then invalid_arg "Config.create: nprocs";
   if procs_per_node <= 0 then invalid_arg "Config.create: procs_per_node";
   if clustering <= 0 then invalid_arg "Config.create: clustering";
@@ -99,6 +111,7 @@ let create ?(variant = Base) ?(nprocs = 1) ?(procs_per_node = 4)
     trace;
     shards;
     fastpath;
+    ckpt;
     fault;
   }
 

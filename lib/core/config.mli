@@ -65,6 +65,14 @@ type t = private {
           either way; off exists so CI can diff fast vs. reference.
           Defaults to the [SHASTA_FASTPATH] environment variable
           (default on; ["0"] disables). *)
+  ckpt : int;
+      (** checkpoint interval in simulated cycles: every node snapshots
+          its directory/state-table slices whenever the interval has
+          elapsed since its last snapshot, and logs sent messages in
+          between (piggybacked on the [on_send] observer hook — zero
+          simulated cycles). 0 (the default) disables checkpointing.
+          Defaults to the [SHASTA_CKPT] environment variable. Forces the
+          sequential scheduler. *)
   fault : fault option;  (** test-only protocol fault injection *)
 }
 
@@ -86,6 +94,7 @@ val create :
   ?trace:int ->
   ?shards:int ->
   ?fastpath:bool ->
+  ?ckpt:int ->
   ?fault:fault ->
   unit ->
   t
@@ -99,6 +108,12 @@ val env_fastpath : unit -> bool
     anything else (including unset) means on. The default for
     {!create}'s [?fastpath]; exposed so harnesses (bench) can report the
     requested value. *)
+
+val env_ckpt : unit -> int
+(** The [SHASTA_CKPT] environment variable parsed to a checkpoint
+    interval in cycles: absent, empty or ["0"] mean 0 (off); [N >= 1]
+    means snapshot every [N] cycles. Raises [Invalid_argument] on
+    anything else. The default for {!create}'s [?ckpt]. *)
 
 val env_shards : unit -> int
 (** The [SHASTA_SHARDS] environment variable parsed to the [shards]

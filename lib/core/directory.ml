@@ -21,6 +21,8 @@ let entry t ~block ~home =
 
 let find t ~block = Hashtbl.find_opt t block
 let iter f t = Hashtbl.iter f t
+let clear t = Hashtbl.reset t
+let remove t ~block = Hashtbl.remove t block
 let push_queued e ~src m = e.queue <- (src, m) :: e.queue
 
 let pop_queued e =

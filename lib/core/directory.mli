@@ -31,6 +31,13 @@ val find : t -> block:int -> entry option
 
 val iter : (int -> entry -> unit) -> t -> unit
 
+val clear : t -> unit
+(** Drop every entry — a crashed home's directory, about to be rebuilt
+    (crash recovery only). *)
+
+val remove : t -> block:int -> unit
+(** Drop one entry (crash recovery: a block re-homed away). *)
+
 val push_queued : entry -> src:int -> Msg.t -> unit
 (** Append a request to the busy-entry queue (FIFO). *)
 

@@ -2,11 +2,15 @@ type deferred =
   | Reply_read of { requester : int }
   | Reply_readex of { requester : int; inval_acks : int }
   | Inval_done of { requester : int }
+  | Recovered
+      (* crash recovery rewrote a deferred action whose requester died:
+         the downgrade still completes locally (siblings already lowered
+         their private entries) but no reply is sent *)
 
 type entry = {
   block : int;
   target : Shasta_mem.State_table.base;
-  deferred : deferred;
+  mutable deferred : deferred;
   mutable remaining : int;
   mutable queued : (int * Msg.t) list;
 }
@@ -27,6 +31,8 @@ let add t ~block ~target ~deferred ~remaining =
 
 let remove t e = Hashtbl.remove t e.block
 let count t = Hashtbl.length t
+let iter f t = Hashtbl.iter (fun _ e -> f e) t
+let clear t = Hashtbl.reset t
 let push_queued e ~src m = e.queued <- (src, m) :: e.queued
 
 let take_queued e =

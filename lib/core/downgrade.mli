@@ -16,11 +16,14 @@ type deferred =
           invalid flag *)
   | Inval_done of { requester : int }
       (** →invalid: stamp the flag and acknowledge the invalidation *)
+  | Recovered
+      (** crash recovery rewrote a deferred action whose requester died:
+          complete the downgrade locally, send nothing *)
 
 type entry = {
   block : int;
   target : Shasta_mem.State_table.base;
-  deferred : deferred;
+  mutable deferred : deferred;  (** mutable for crash recovery rewrites *)
   mutable remaining : int;
   mutable queued : (int * Msg.t) list;  (** newest first *)
 }
@@ -43,6 +46,13 @@ val add :
 
 val remove : t -> entry -> unit
 val count : t -> int
+
+val iter : (entry -> unit) -> t -> unit
+
+val clear : t -> unit
+(** Drop every entry — a crashed node's downgrade table (crash recovery
+    only). *)
+
 val push_queued : entry -> src:int -> Msg.t -> unit
 val take_queued : entry -> (int * Msg.t) list
 (** Queued requests in arrival order; the entry's queue is cleared. *)

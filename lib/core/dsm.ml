@@ -199,7 +199,9 @@ let lookahead_matrix m =
    - fault injection is on (an injected protocol bug may wedge the run
      before the post-join sweep that replaces the per-barrier sweep);
    - sanitize >= 2 (the happens-before race detector consumes the merged
-     event stream, which is only virtual-time-ordered sequentially). *)
+     event stream, which is only virtual-time-ordered sequentially);
+   - checkpointing is on (the checkpoint observer snapshots whole-node
+     slices, which must observe a virtual-time-consistent machine). *)
 let resolve_shards cfg ~run_ahead ~requested =
   let nnodes = Config.nnodes cfg in
   let req =
@@ -208,15 +210,19 @@ let resolve_shards cfg ~run_ahead ~requested =
   let req = if req = 0 then Domain.recommended_domain_count () else req in
   if
     (not run_ahead) || cfg.Config.fault <> None || cfg.Config.sanitize >= 2
+    || cfg.Config.ckpt > 0
   then 1
   else max 1 (min req nnodes)
 
-let run ?(run_ahead = true) ?shards h body =
+let run ?(run_ahead = true) ?shards ?(events = []) h body =
   assert (not h.ran);
   h.ran <- true;
   let cfg = h.m.Machine.cfg in
   let m = h.m in
   let shards = resolve_shards cfg ~run_ahead ~requested:shards in
+  (* Crash events mutate whole-machine state atomically at a scheduler
+     decision point; only the sequential scheduler has one. *)
+  let shards = if events <> [] then 1 else shards in
   h.shards_used <- shards;
   let make_body eng =
     let p = Protocol.make_ctx m eng in
@@ -230,7 +236,7 @@ let run ?(run_ahead = true) ?shards h body =
       Engine.run ~nprocs:cfg.Config.nprocs ~max_cycles:cfg.Config.max_cycles
         ~run_ahead
         ~arrival_hint:(Machine.earliest_arrival m)
-        ~lookahead:(lookahead_matrix m) make_body
+        ~lookahead:(lookahead_matrix m) ~events make_body
     in
     h.sched <- (outcome.Engine.yields_performed, outcome.Engine.yields_elided)
   end
@@ -285,13 +291,13 @@ let run ?(run_ahead = true) ?shards h body =
       | vs -> raise (Inspect.Violation vs)
   end
 
-let run_controlled ~choose h body =
+let run_controlled ?(events = []) ~choose h body =
   assert (not h.ran);
   h.ran <- true;
   let cfg = h.m.Machine.cfg in
   let outcome =
     Engine.run_controlled ~nprocs:cfg.Config.nprocs
-      ~max_cycles:cfg.Config.max_cycles ~choose
+      ~max_cycles:cfg.Config.max_cycles ~events ~choose
       (fun eng ->
         let p = Protocol.make_ctx h.m eng in
         (* The controlled scheduler explores interleavings at every

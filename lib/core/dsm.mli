@@ -49,7 +49,13 @@ val poke_int : handle -> int -> int -> unit
 
 type ctx
 
-val run : ?run_ahead:bool -> ?shards:int -> handle -> (ctx -> unit) -> unit
+val run :
+  ?run_ahead:bool ->
+  ?shards:int ->
+  ?events:(int * (kill:(int -> unit) -> now:int -> unit)) list ->
+  handle ->
+  (ctx -> unit) ->
+  unit
 (** Execute the body on every simulated processor and drain the
     protocol. May be called once per handle. [run_ahead] (default
     [true]) enables the slack-based run-ahead scheduler; disabling it
@@ -65,15 +71,30 @@ val run : ?run_ahead:bool -> ?shards:int -> handle -> (ctx -> unit) -> unit
     bit-identical to the sequential scheduler; only host wall time and
     the yield counters of {!sched_counts} differ. The request is capped
     at the node count and forced to 1 when [run_ahead] is off, fault
-    injection is configured, or [sanitize >= 2] (the race detector needs
-    the sequential merged event order). *)
+    injection is configured, [sanitize >= 2] (the race detector needs
+    the sequential merged event order), checkpointing is enabled
+    ([Config.ckpt] > 0), or [events] is non-empty.
 
-val run_controlled : choose:(int array -> int) -> handle -> (ctx -> unit) -> unit
+    [events] schedules virtual-time callbacks — the crash-injection
+    surface, see {!Shasta_sim.Engine.run} and {!Shasta_recover.Crash}.
+    Each [(at, f)] fires once, at a scheduler decision point, before
+    any processor executes at or past cycle [at]; [f] may kill
+    processors and mutate machine state atomically. Passing [[]]
+    (the default) is bit-identical to the previous behaviour. *)
+
+val run_controlled :
+  ?events:(int * (kill:(int -> unit) -> now:int -> unit)) list ->
+  choose:(int array -> int) ->
+  handle ->
+  (ctx -> unit) ->
+  unit
 (** {!run} under an external scheduler, for the litmus model checker:
     run-ahead is disabled, every scheduling point performs, and at each
     one [choose] picks the next processor from the runnable set (sorted
     by virtual time, ties by pid — index 0 reproduces the default
-    schedule). See {!Shasta_sim.Engine.run_controlled}. *)
+    schedule). [events] as in {!run} — lets the litmus DFS place
+    crashes at explored decision points. See
+    {!Shasta_sim.Engine.run_controlled}. *)
 
 val pid : ctx -> int
 val nprocs : ctx -> int

@@ -24,7 +24,11 @@ type lock_state = {
   mutable lock_queue : int list;
 }
 
-type barrier_state = { mutable arrived : int; mutable generation : int }
+type barrier_state = {
+  mutable arrived : int;
+  mutable generation : int;
+  mutable arrived_procs : int list;
+}
 
 type proc_state = {
   pid : int;
@@ -39,6 +43,13 @@ type proc_state = {
   barrier_seen : (int, int) Hashtbl.t;
   mutable finished : bool;
   mutable app_finish_cycles : int;
+  mutable waiting_lock : int option;
+      (* lock id this processor has requested but not yet been granted —
+         crash recovery uses it to find stranded waiters *)
+  mutable waiting_barrier : int option;
+      (* barrier id this processor has arrived at but not yet been
+         released from — crash recovery uses it to find stranded
+         arrivals when the barrier manager died *)
 }
 
 type t = {
@@ -61,6 +72,16 @@ type t = {
   mutable observer : Observer.t option;
   mutable sharded : bool;
   quiesced : bool Atomic.t;
+  (* Crash bookkeeping. [dead]/[dead_nodes] are set (with [has_dead])
+     atomically with the recovery surgery by [Shasta_recover.Crash], so
+     protocol code only ever observes a fully recovered machine; the
+     flags gate the O(1) fast paths of lock/barrier homing and the
+     barrier expected-count. *)
+  dead : bool array;  (* per processor *)
+  dead_nodes : bool array;  (* per coherence node *)
+  mutable has_dead : bool;
+  mutable crashes : int;
+  mutable recovery_cycles : int;
 }
 
 let create (cfg : Config.t) =
@@ -99,6 +120,8 @@ let create (cfg : Config.t) =
       barrier_seen = Hashtbl.create 4;
       finished = false;
       app_finish_cycles = 0;
+      waiting_lock = None;
+      waiting_barrier = None;
     }
   in
   {
@@ -122,6 +145,11 @@ let create (cfg : Config.t) =
     observer = None;
     sharded = false;
     quiesced = Atomic.make false;
+    dead = Array.make cfg.Config.nprocs false;
+    dead_nodes = Array.make (Config.nnodes cfg) false;
+    has_dead = false;
+    crashes = 0;
+    recovery_cycles = 0;
   }
 
 let add_observer t o =
@@ -243,11 +271,45 @@ let alloc_lock t =
 let alloc_barrier t =
   let id = t.next_barrier in
   t.next_barrier <- id + 1;
-  Hashtbl.replace t.barriers id { arrived = 0; generation = 0 };
+  Hashtbl.replace t.barriers id
+    { arrived = 0; generation = 0; arrived_procs = [] };
   id
 
-let lock_home t id = id mod t.cfg.Config.nprocs
-let barrier_home t id = id mod t.cfg.Config.nprocs
+(* Lock/barrier manager homing: round-robin by id, walking forward past
+   dead processors once a crash has happened (the manager role of a dead
+   processor fails over to the next live pid; all processors compute the
+   same answer because [dead] only changes inside the atomic crash
+   surgery). *)
+let live_manager t id =
+  let n = t.cfg.Config.nprocs in
+  let p = id mod n in
+  if not t.has_dead then p
+  else begin
+    let q = ref p in
+    while t.dead.(!q) do
+      q := (!q + 1) mod n
+    done;
+    !q
+  end
+
+let lock_home t id = live_manager t id
+let barrier_home t id = live_manager t id
+
+let live_procs t =
+  if not t.has_dead then t.cfg.Config.nprocs
+  else begin
+    let n = ref 0 in
+    Array.iter (fun d -> if not d then incr n) t.dead;
+    !n
+  end
+
+let live_nodes t =
+  if not t.has_dead then Config.nnodes t.cfg
+  else begin
+    let n = ref 0 in
+    Array.iter (fun d -> if not d then incr n) t.dead_nodes;
+    !n
+  end
 
 (* Evaluated lazily, cheapest condition first: the post-run drain loop
    probes this every [stall_gap] while the stragglers are still running,

@@ -35,6 +35,9 @@ type lock_state = {
 type barrier_state = {
   mutable arrived : int;
   mutable generation : int;
+  mutable arrived_procs : int list;
+      (** pids (or, hierarchical, node representatives) counted in
+          [arrived] — crash recovery subtracts dead arrivals *)
 }
 
 type proc_state = {
@@ -50,6 +53,13 @@ type proc_state = {
   barrier_seen : (int, int) Hashtbl.t;  (** barrier id -> generation *)
   mutable finished : bool;
   mutable app_finish_cycles : int;
+  mutable waiting_lock : int option;
+      (** lock requested but not yet granted; crash recovery re-issues
+          or re-grants for stranded waiters *)
+  mutable waiting_barrier : int option;
+      (** barrier arrived at but not yet released from; crash recovery
+          re-issues arrivals or re-sends releases lost with a dead
+          barrier manager *)
 }
 
 type t = {
@@ -85,6 +95,15 @@ type t = {
   quiesced : bool Atomic.t;
       (** set exactly once by the sharded scheduler's termination
           detector; the sharded drain loop spins on it *)
+  dead : bool array;
+      (** per-processor crash flags; mutated only inside the atomic
+          crash-and-recover surgery of [Shasta_recover.Crash] *)
+  dead_nodes : bool array;  (** per-coherence-node crash flags *)
+  mutable has_dead : bool;
+  mutable crashes : int;  (** node crashes executed on this machine *)
+  mutable recovery_cycles : int;
+      (** simulated cycles charged to recovery traffic (message pauses
+          of re-injected requests) *)
 }
 
 val create : Config.t -> t
@@ -133,6 +152,14 @@ val alloc_barrier : t -> int
 
 val lock_home : t -> int -> int
 val barrier_home : t -> int -> int
+(** Manager processor for a lock/barrier id: round-robin by id, failing
+    over to the next live pid once a crash has happened. *)
+
+val live_procs : t -> int
+(** Number of processors not marked dead. *)
+
+val live_nodes : t -> int
+(** Number of coherence nodes not marked dead. *)
 
 val quiescent : t -> bool
 (** No queued or in-flight messages, no outstanding misses, downgrades,

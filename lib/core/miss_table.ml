@@ -59,6 +59,11 @@ let remove t e =
 let find_id t id = Hashtbl.find_opt t.by_id id
 let outstanding_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.by_id []
 let count t = Hashtbl.length t.by_block
+let iter f t = Hashtbl.iter (fun _ e -> f e) t.by_block
+
+let clear t =
+  Hashtbl.reset t.by_block;
+  Hashtbl.reset t.by_id
 
 let add_store_range e ~off ~len ~proc =
   e.store_ranges <- (off, len) :: e.store_ranges;

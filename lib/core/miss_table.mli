@@ -53,6 +53,12 @@ val outstanding_ids : t -> int list
 
 val count : t -> int
 
+val iter : (entry -> unit) -> t -> unit
+
+val clear : t -> unit
+(** Drop every entry — a crashed node's miss table (crash recovery
+    only). *)
+
 val add_store_range : entry -> off:int -> len:int -> proc:int -> unit
 (** Record a non-blocking store (coalescing is not attempted; ranges are
     applied in order at merge time, which is equivalent). *)

@@ -355,7 +355,7 @@ and handle_message ctx ~src msg =
   | Msg.Lock_req { lock } -> handle_lock_req ctx ~src ~lock
   | Msg.Lock_grant { lock } -> Hashtbl.replace ctx.ps.Machine.granted lock ()
   | Msg.Lock_release { lock } -> handle_lock_release ctx ~lock
-  | Msg.Barrier_arrive { barrier } -> handle_barrier_arrive ctx ~barrier
+  | Msg.Barrier_arrive { barrier } -> handle_barrier_arrive ctx ~src ~barrier
   | Msg.Barrier_release { barrier; generation } ->
     if
       ctx.m.Machine.cfg.Config.smp_sync
@@ -367,7 +367,7 @@ and handle_message ctx ~src msg =
         match Hashtbl.find_opt tbl barrier with
         | Some bs -> bs
         | None ->
-          let bs = { Machine.arrived = 0; generation = 0 } in
+          let bs = { Machine.arrived = 0; generation = 0; arrived_procs = [] } in
           Hashtbl.replace tbl barrier bs;
           bs
       in
@@ -719,6 +719,13 @@ and execute_deferred ctx ~block ~target ~deferred =
     stamp_invalid ctx block;
     set_block_state ctx ns.Machine.table block State_table.Invalid;
     deliver ctx requester (Msg.Inval_ack { block })
+  | Downgrade.Recovered ->
+    (* The requester of the original deferred action died; recovery
+       rewrote the entry. Complete the downgrade locally so the node
+       state matches the already-lowered sibling private entries, and
+       send nothing. *)
+    if target = State_table.Invalid then stamp_invalid ctx block;
+    set_block_state ctx ns.Machine.table block target
 
 (* ---------------- Requester side: replies ---------------- *)
 
@@ -861,25 +868,34 @@ and handle_lock_release ctx ~lock =
     ls.Machine.holder <- oldest;
     deliver ctx oldest (Msg.Lock_grant { lock })
 
-and handle_barrier_arrive ctx ~barrier =
+and handle_barrier_arrive ctx ~src ~barrier =
   charge ctx ctx.t.Timing.sync_manager;
   let cfg = ctx.m.Machine.cfg in
   let hierarchical = cfg.Config.smp_sync && cfg.Config.clustering > 1 in
-  let expected = if hierarchical then Config.nnodes cfg else cfg.Config.nprocs in
+  (* After a crash the barrier waits only for live participants; the
+     arrival pids are recorded so recovery can subtract arrivals from
+     processors that died mid-episode. *)
+  let expected =
+    if hierarchical then Machine.live_nodes ctx.m else Machine.live_procs ctx.m
+  in
   let bs = Hashtbl.find ctx.m.Machine.barriers barrier in
   bs.Machine.arrived <- bs.Machine.arrived + 1;
-  if bs.Machine.arrived = expected then begin
+  bs.Machine.arrived_procs <- src :: bs.Machine.arrived_procs;
+  if bs.Machine.arrived >= expected then begin
     bs.Machine.arrived <- 0;
+    bs.Machine.arrived_procs <- [];
     bs.Machine.generation <- bs.Machine.generation + 1;
     let generation = bs.Machine.generation in
     if hierarchical then
       for n = 0 to Config.nnodes cfg - 1 do
-        deliver ctx (List.hd (Config.procs_of_node cfg n))
-          (Msg.Barrier_release { barrier; generation })
+        if not ctx.m.Machine.dead_nodes.(n) then
+          deliver ctx (List.hd (Config.procs_of_node cfg n))
+            (Msg.Barrier_release { barrier; generation })
       done
     else
       for p = 0 to cfg.Config.nprocs - 1 do
-        deliver ctx p (Msg.Barrier_release { barrier; generation })
+        if not ctx.m.Machine.dead.(p) then
+          deliver ctx p (Msg.Barrier_release { barrier; generation })
       done
   end
 
@@ -1394,9 +1410,11 @@ let acquire_fence ctx =
 
 let lock_acquire ctx lock =
   acquire_fence ctx;
+  ctx.ps.Machine.waiting_lock <- Some lock;
   with_category ctx Stats.Sync (fun () ->
       deliver ctx (Machine.lock_home ctx.m lock) (Msg.Lock_req { lock }));
   stall ctx Stats.Sync (fun () -> Hashtbl.mem ctx.ps.Machine.granted lock);
+  ctx.ps.Machine.waiting_lock <- None;
   Hashtbl.remove ctx.ps.Machine.granted lock;
   obs_lock_acquired ctx ~lock
 
@@ -1411,7 +1429,7 @@ let local_barrier ctx barrier =
   match Hashtbl.find_opt tbl barrier with
   | Some bs -> bs
   | None ->
-    let bs = { Machine.arrived = 0; generation = 0 } in
+    let bs = { Machine.arrived = 0; generation = 0; arrived_procs = [] } in
     Hashtbl.replace tbl barrier bs;
     bs
 
@@ -1442,6 +1460,7 @@ let barrier_wait ctx barrier =
     obs_barrier_arrive ctx ~barrier ~epoch:(before + 1);
     charge ctx (ctx.t.Timing.memory_barrier + ctx.t.Timing.sync_manager);
     bs.Machine.arrived <- bs.Machine.arrived + 1;
+    ctx.ps.Machine.waiting_barrier <- Some barrier;
     if bs.Machine.arrived = List.length (Config.procs_of_node ctx.m.Machine.cfg (node ctx))
     then begin
       bs.Machine.arrived <- 0;
@@ -1450,6 +1469,7 @@ let barrier_wait ctx barrier =
             (Msg.Barrier_arrive { barrier }))
     end;
     stall ctx Stats.Sync (fun () -> bs.Machine.generation > before);
+    ctx.ps.Machine.waiting_barrier <- None;
     obs_barrier_leave ctx ~barrier ~epoch:(before + 1);
     acquire_fence ctx;
     barrier_sanitize ctx
@@ -1460,9 +1480,11 @@ let barrier_wait ctx barrier =
     in
     let before = seen () in
     obs_barrier_arrive ctx ~barrier ~epoch:(before + 1);
+    ctx.ps.Machine.waiting_barrier <- Some barrier;
     with_category ctx Stats.Sync (fun () ->
         deliver ctx (Machine.barrier_home ctx.m barrier) (Msg.Barrier_arrive { barrier }));
     stall ctx Stats.Sync (fun () -> seen () > before);
+    ctx.ps.Machine.waiting_barrier <- None;
     obs_barrier_leave ctx ~barrier ~epoch:(before + 1);
     acquire_fence ctx;
     barrier_sanitize ctx

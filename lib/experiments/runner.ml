@@ -89,6 +89,15 @@ let executed_fast_hits = Atomic.make 0
 let fastpath_totals () =
   (Atomic.get executed_checks, Atomic.get executed_fast_hits)
 
+(* Cumulative crash-fault counters over executed runs, same differencing
+   discipline: the bench JSON reports how many node crashes a target's
+   runs absorbed and the virtual cycles its recoveries charged. Both stay
+   zero unless a run schedules crash events. *)
+let executed_crashes = Atomic.make 0
+let executed_recovery_cycles = Atomic.make 0
+let crash_totals () =
+  (Atomic.get executed_crashes, Atomic.get executed_recovery_cycles)
+
 (* Global metrics aggregate over every traced run (SHASTA_TRACE=1).
    Filled under [metrics_mutex] as worker domains complete; merging is
    commutative, so the aggregate is independent of the jobs count and
@@ -177,6 +186,12 @@ let execute spec =
       Some (Shasta_trace.Metrics.attach (Dsm.machine h))
     else None
   in
+  (* SHASTA_CKPT=N (virtual cycles, N > 0) attaches the checkpointing
+     observer so experiment runs pay its logging overhead; with the knob
+     off no observer is installed and simulated time is bit-identical. *)
+  if cfg.Config.ckpt > 0 then
+    ignore (Shasta_recover.Checkpoint.attach (Dsm.machine h)
+              ~interval:cfg.Config.ckpt);
   let body, verify = inst.App.setup h in
   Dsm.run h body;
   record_shards h;
@@ -215,6 +230,11 @@ let execute spec =
    ignore
      (Atomic.fetch_and_add executed_fast_hits
         agg.Shasta_core.Stats.fast_hits));
+  (let m = Dsm.machine h in
+   ignore (Atomic.fetch_and_add executed_crashes m.Shasta_core.Machine.crashes);
+   ignore
+     (Atomic.fetch_and_add executed_recovery_cycles
+        m.Shasta_core.Machine.recovery_cycles));
   {
     spec;
     workload = inst.App.workload;

@@ -76,6 +76,13 @@ val fastpath_totals : unit -> int * int
     (cache hits contribute nothing). Difference across a span for the
     bench JSON's [hit_fastpath_rate]. *)
 
+val crash_totals : unit -> int * int
+(** [(crashes, recovery_cycles)] summed over all runs actually executed
+    so far (cache hits contribute nothing): node crashes absorbed and
+    the virtual cycles their recoveries charged. Difference across a
+    span for the bench JSON's [crashes] / [recovery_cycles] fields —
+    both zero unless a run scheduled crash events. *)
+
 val fastpath_by_app : unit -> (string * (int * int * int * int)) list
 (** [(app, (checks, fast_hits, accesses, prog_accesses))] summed over
     the cached results of each application, sorted by name — the

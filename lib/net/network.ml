@@ -116,6 +116,12 @@ type 'a t = {
   xsent : int Atomic.t;
       (* cross-shard sends, incremented BEFORE the mailbox push so the
          termination detector can never observe a push it hasn't counted *)
+  (* Crash quarantine: once a processor is marked dead, sends from or to
+     it are silently discarded (the wire to a crashed node is cut). The
+     [any_dead] flag keeps the common no-crash path at one branch. *)
+  deads : bool array;
+  mutable any_dead : bool;
+  mutable n_dropped : int;
 }
 
 let create topo link =
@@ -134,6 +140,9 @@ let create topo link =
     nshards = 1;
     mailboxes = [||];
     xsent = Atomic.make 0;
+    deads = Array.make nprocs false;
+    any_dead = false;
+    n_dropped = 0;
   }
 
 let set_sharding t ~shards ~shard_of =
@@ -148,6 +157,9 @@ let set_sharding t ~shards ~shard_of =
         })
 
 let send t ~src ~dst ~now ~size payload =
+  if t.any_dead && (t.deads.(src) || t.deads.(dst)) then
+    t.n_dropped <- t.n_dropped + 1
+  else
   let same_node = Topology.same_node t.topo src dst in
   let transfer = Link.transfer_cycles t.link ~same_node ~size in
   let arrival = now + transfer in
@@ -215,6 +227,76 @@ let peek_arrival t ~dst =
   | None -> None
 
 let queued t ~dst = Heap.size t.queues.(dst)
+
+let mark_dead t pid =
+  t.deads.(pid) <- true;
+  t.any_dead <- true
+
+let is_dead t pid = t.deads.(pid)
+
+let dropped t = t.n_dropped
+
+(* Discard every queued message with a dead endpoint (the in-flight
+   traffic of the crashed node at the instant of the crash). Rebuilds
+   each surviving heap by re-pushing the survivors — O(n log n), only
+   ever run at a crash. Not shard-safe: crashes force the sequential
+   scheduler. *)
+let purge_dead t =
+  let purged = ref 0 in
+  for dst = 0 to t.nprocs - 1 do
+    let q = t.queues.(dst) in
+    if Heap.size q > 0 then begin
+      let survivors = ref [] in
+      for i = Heap.size q - 1 downto 0 do
+        let m = q.Heap.data.(i) in
+        if t.deads.(m.src) || t.deads.(dst) then incr purged
+        else survivors := m :: !survivors
+      done;
+      q.Heap.size <- 0;
+      List.iter (fun m -> Heap.push q m) !survivors
+    end
+  done;
+  t.n_dropped <- t.n_dropped + !purged;
+  !purged
+
+(* Selective cancellation: drop every queued message matching the
+   predicate, returning the dropped messages sorted by their delivery
+   stamps (arrival, sent, src, seq) — the order in which they would
+   have been handled — so recovery surgery that re-interprets them is
+   deterministic. Same rebuild strategy as [purge_dead]. *)
+let purge_where t f =
+  let dropped = ref [] in
+  for dst = 0 to t.nprocs - 1 do
+    let q = t.queues.(dst) in
+    if Heap.size q > 0 then begin
+      let survivors = ref [] in
+      let removed = ref false in
+      for i = Heap.size q - 1 downto 0 do
+        let m = q.Heap.data.(i) in
+        if f ~src:m.src ~dst m.payload then begin
+          removed := true;
+          dropped := (m, dst) :: !dropped
+        end
+        else survivors := m :: !survivors
+      done;
+      if !removed then begin
+        q.Heap.size <- 0;
+        List.iter (fun m -> Heap.push q m) !survivors
+      end
+    end
+  done;
+  t.n_dropped <- t.n_dropped + List.length !dropped;
+  !dropped
+  |> List.sort (fun (a, _) (b, _) ->
+         compare (a.arrival, a.sent, a.src, a.seq) (b.arrival, b.sent, b.src, b.seq))
+  |> List.map (fun (m, dst) -> (m.src, dst, m.payload))
+
+let iter_queued t ~dst f =
+  let q = t.queues.(dst) in
+  for i = 0 to Heap.size q - 1 do
+    let m = q.Heap.data.(i) in
+    f ~src:m.src ~arrival:m.arrival m.payload
+  done
 
 let sum = Array.fold_left ( + ) 0
 

@@ -91,6 +91,41 @@ val cross_sent : 'a t -> int
     scheduler's termination detector compares it against the drained
     count. *)
 
+(** {1 Crash quarantine}
+
+    When a node crashes, its processors are marked dead: subsequent
+    sends from or to a dead processor are silently discarded (one extra
+    branch on the send path, taken only once some processor has died),
+    and {!purge_dead} discards the in-flight messages that had a dead
+    endpoint at the instant of the crash. Recovery code uses
+    {!iter_queued} to analyse the surviving in-flight traffic. *)
+
+val mark_dead : 'a t -> int -> unit
+(** Quarantine a processor: all its future traffic (either direction)
+    is dropped. *)
+
+val is_dead : 'a t -> int -> bool
+
+val purge_dead : 'a t -> int
+(** Discard every queued message whose source or destination is dead;
+    returns the number discarded. Sequential scheduler only. *)
+
+val dropped : 'a t -> int
+(** Total messages discarded by quarantine (sends suppressed plus
+    in-flight purges). *)
+
+val purge_where :
+  'a t -> (src:int -> dst:int -> 'a -> bool) -> (int * int * 'a) list
+(** Discard every queued message for which the predicate holds; returns
+    the dropped [(src, dst, payload)] triples sorted by their delivery
+    stamps (the order they would have been handled in). Used by crash
+    recovery to cancel live-live in-flight traffic naming an affected
+    block. Sequential scheduler only. *)
+
+val iter_queued : 'a t -> dst:int -> (src:int -> arrival:int -> 'a -> unit) -> unit
+(** Iterate over the messages currently queued for [dst] (arrived or
+    not), in unspecified order. *)
+
 val sent_local : 'a t -> int
 (** Count of intra-node messages sent so far. *)
 

@@ -1,0 +1,15 @@
+module Dsm = Shasta_core.Dsm
+
+(* A crash is an engine event: at virtual cycle [at], before any
+   processor executes at or past it, the node's processors are killed
+   where they stand and [Recover.rebuild] repairs the survivors — one
+   atomic step of simulated fail-stop plus recovery. *)
+
+let event h ~node ~at ~mode =
+  let m = Dsm.machine h in
+  (at, fun ~kill ~now -> Recover.rebuild m ~node ~mode ~kill ~now)
+
+let kill h ~node ~at = event h ~node ~at ~mode:Recover.Pull
+
+let with_checkpoint h ~node ~at ~ckpt =
+  event h ~node ~at ~mode:(Recover.Ckpt ckpt)

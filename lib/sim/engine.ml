@@ -228,8 +228,44 @@ let horizon_finish ~h ~tie_lower ~bound =
     let horizon = if tie_lower || h = max_int then h else h + 1 in
     (h, min horizon bound)
 
+(* Crash-event support shared by [run] and [run_controlled]: a kill
+   closure over the run's task array, and a due-event pump consulted
+   before each resume.
+
+   [kill] marks the processor [Finished] and DROPS its continuation
+   without discontinuing. This is deliberate: discontinuing would unwind
+   the fiber through any [Fun.protect] finalizers on its stack, and
+   protocol finalizers (batch teardown) perform real protocol work —
+   including [Yield] effects, which the still-installed handler would
+   catch and re-park the processor, silently undoing the kill. A crash
+   skips cleanup by definition; the orphaned fiber is reclaimed by the
+   GC. *)
+let make_kill tasks nprocs =
+ fun pid ->
+  if pid < 0 || pid >= nprocs then invalid_arg "Engine.kill: pid out of range";
+  let t = tasks.(pid) in
+  match t.p_status with
+  | Running -> invalid_arg "Engine.kill: cannot kill the running processor"
+  | Finished -> ()
+  | Fresh | Suspended _ -> t.p_status <- Finished
+
+let make_event_pump events kill =
+  let pending =
+    ref (List.stable_sort (fun (a, _) (b, _) -> compare a b) events)
+  in
+  fun p ->
+    let rec go () =
+      match !pending with
+      | (at, f) :: rest when p.p_now >= at ->
+        pending := rest;
+        f ~kill ~now:p.p_now;
+        go ()
+      | _ -> ()
+    in
+    go ()
+
 let run ~nprocs ?(max_cycles = 2_000_000_000) ?(run_ahead = true)
-    ?(arrival_hint = no_hint) ?(lookahead = [||]) body =
+    ?(arrival_hint = no_hint) ?(lookahead = [||]) ?(events = []) body =
   assert (nprocs > 0);
   assert (
     Array.length lookahead = 0 || Array.length lookahead = nprocs * nprocs);
@@ -248,6 +284,8 @@ let run ~nprocs ?(max_cycles = 2_000_000_000) ?(run_ahead = true)
           p_counters = counters;
         })
   in
+  let has_events = events <> [] in
+  let fire_due = make_event_pump events (make_kill tasks nprocs) in
   let lookahead =
     if Array.length lookahead > 0 then lookahead
     else Array.make (nprocs * nprocs) 0
@@ -313,39 +351,49 @@ let run ~nprocs ?(max_cycles = 2_000_000_000) ?(run_ahead = true)
   Array.iter (fun p -> Runq.push q p) tasks;
   while q.Runq.size > 0 do
     let p = Runq.pop q in
-    let running = ref true in
+    (* A popped processor may have been killed by an event while parked
+       in the heap; skip it. *)
+    let running = ref (p.p_status <> Finished) in
     while !running do
-      (* With [run_ahead] off, a past horizon forces the effect at every
-         scheduling point and [p_visible] stays in the past so idle waits
-         advance one quantum at a time, reproducing the always-yield
-         scheduler switch-for-switch. *)
-      if run_ahead then begin
-        p.p_horizon <- horizon_of p;
-        p.p_resumed_at <- p.p_now
-      end
+      (* Crash events fire at the clock of the processor about to be
+         resumed — the global minimum, so an event at virtual time [at]
+         fires before any processor executes at-or-past [at]. The
+         callback may kill processors, including [p] itself. *)
+      if has_events then fire_due p;
+      if p.p_status = Finished then running := false
       else begin
-        p.p_horizon <- min_int;
-        p.p_visible <- min_int
-      end;
-      step body p;
-      (* A Running status here means [step] returned without the task
-         either finishing or suspending, which the handler construction
-         rules out. *)
-      match p.p_status with
-      | Suspended _ ->
-        (* Self-resume fast path: pushing [p] and popping again would
-           return [p] itself whenever it is still the strict (clock,
-           pid) minimum — [less] is total on live processors (unique
-           pids), so the comparison against the heap top decides the
-           pick exactly. Skip the heap churn and resume directly. *)
-        if
-          q.Runq.size > 0 && not (Runq.less p (Array.unsafe_get q.Runq.heap 0))
-        then begin
-          Runq.push q p;
-          running := false
+        (* With [run_ahead] off, a past horizon forces the effect at every
+           scheduling point and [p_visible] stays in the past so idle waits
+           advance one quantum at a time, reproducing the always-yield
+           scheduler switch-for-switch. *)
+        if run_ahead then begin
+          p.p_horizon <- horizon_of p;
+          p.p_resumed_at <- p.p_now
         end
-      | Finished -> running := false
-      | Fresh | Running -> assert false
+        else begin
+          p.p_horizon <- min_int;
+          p.p_visible <- min_int
+        end;
+        step body p;
+        (* A Running status here means [step] returned without the task
+           either finishing or suspending, which the handler construction
+           rules out. *)
+        match p.p_status with
+        | Suspended _ ->
+          (* Self-resume fast path: pushing [p] and popping again would
+             return [p] itself whenever it is still the strict (clock,
+             pid) minimum — [less] is total on live processors (unique
+             pids), so the comparison against the heap top decides the
+             pick exactly. Skip the heap churn and resume directly. *)
+          if
+            q.Runq.size > 0 && not (Runq.less p (Array.unsafe_get q.Runq.heap 0))
+          then begin
+            Runq.push q p;
+            running := false
+          end
+        | Finished -> running := false
+        | Fresh | Running -> assert false
+      end
     done
   done;
   ignore (Atomic.fetch_and_add total_performed counters.performed);
@@ -657,7 +705,8 @@ let run_sharded ~nprocs ~shards ~shard_of ?(max_cycles = 2_000_000_000)
     },
     { shard_walls = walls; shard_steps = steps; shard_spins = spins } )
 
-let run_controlled ~nprocs ?(max_cycles = 2_000_000_000) ~choose body =
+let run_controlled ~nprocs ?(max_cycles = 2_000_000_000) ?(events = []) ~choose
+    body =
   assert (nprocs > 0);
   let counters = { performed = 0; elided = 0 } in
   let tasks =
@@ -674,6 +723,8 @@ let run_controlled ~nprocs ?(max_cycles = 2_000_000_000) ~choose body =
           p_counters = counters;
         })
   in
+  let has_events = events <> [] in
+  let fire_due = make_event_pump events (make_kill tasks nprocs) in
   let running = ref true in
   while !running do
     let live = ref [] in
@@ -690,10 +741,17 @@ let run_controlled ~nprocs ?(max_cycles = 2_000_000_000) ~choose body =
           if ca <> cb then compare ca cb else compare a b)
         cands;
       let pick = choose cands in
-      if
-        pick < 0 || pick >= nprocs || tasks.(pick).p_status = Finished
-      then invalid_arg "Engine.run_controlled: choose picked a non-runnable pid";
-      step body tasks.(pick)
+      if pick < 0 || pick >= nprocs then
+        invalid_arg "Engine.run_controlled: choose picked a non-runnable pid";
+      let p = tasks.(pick) in
+      if p.p_status <> Finished then begin
+        (* Crash events fire at the chosen processor's clock, before it
+           steps; the callback may kill any processor including the
+           pick, in which case this decision becomes a no-op and the
+           next iteration recomputes the live set. *)
+        if has_events then fire_due p;
+        if p.p_status <> Finished then step body p
+      end
   done;
   ignore (Atomic.fetch_and_add total_performed counters.performed);
   ignore (Atomic.fetch_and_add total_elided counters.elided);

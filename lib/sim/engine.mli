@@ -50,11 +50,25 @@ val run :
   ?run_ahead:bool ->
   ?arrival_hint:(int -> int) ->
   ?lookahead:int array ->
+  ?events:(int * (kill:(int -> unit) -> now:int -> unit)) list ->
   (proc -> unit) ->
   outcome
 (** [run ~nprocs body] spawns [nprocs] processors executing [body] and
     schedules them to completion; [outcome.finish] is each processor's
     finish time in cycles. [max_cycles] defaults to [2_000_000_000].
+
+    [events] is a list of [(at, callback)] pairs, fired in ascending
+    [at] order. An event due at virtual time [at] fires just before the
+    scheduler resumes the first processor whose clock is at-or-past
+    [at] — since the scheduler always resumes the minimum clock, no
+    processor has executed at-or-past [at] when the callback runs. The
+    callback receives [kill], which marks a processor terminated
+    {e without} unwinding its stack (crash semantics: no finalizers
+    run; the orphaned fiber is reclaimed by the GC), and [now], the
+    clock of the about-to-run processor. [kill] raises
+    [Invalid_argument] on an out-of-range pid and is a no-op on an
+    already-finished one. With no events (the default) the run is
+    bit-identical to previous behaviour.
 
     [run_ahead] (default [true]): when false, every scheduling point
     performs the yield effect and re-enters the scheduler, as the
@@ -168,7 +182,12 @@ val run_sharded :
     simulation observes in virtual time does not. *)
 
 val run_controlled :
-  nprocs:int -> ?max_cycles:int -> choose:(int array -> int) -> (proc -> unit) -> outcome
+  nprocs:int ->
+  ?max_cycles:int ->
+  ?events:(int * (kill:(int -> unit) -> now:int -> unit)) list ->
+  choose:(int array -> int) ->
+  (proc -> unit) ->
+  outcome
 (** [run ~run_ahead:false] under an external scheduler, for the litmus
     model checker. At every real scheduling decision the runnable
     processors are collected into an array sorted by (clock, pid) and
@@ -179,7 +198,10 @@ val run_controlled :
     completes earlier — because message FIFO order between each
     processor pair is independent of the schedule and the protocol makes
     no real-time assumptions. Raises [Invalid_argument] if [choose]
-    returns a pid that is not runnable. *)
+    returns a pid outside \[0, nprocs); a pid that finished (or was
+    killed by an event) since the candidate array was built is skipped
+    silently. [events] is as in {!run}, fired at the chosen processor's
+    clock before it steps. *)
 
 val pid : proc -> int
 (** Identifier in \[0, nprocs). *)

@@ -99,7 +99,13 @@ let reference ?(bound = 2) () =
   match !reference_cache with
   | Some (b, r) when b = bound -> r
   | _ ->
-    let r = Reach.explore { Reach.default_params with Reach.bound } in
+    (* The reference vocabulary is the CRASH-FREE model's: conformance
+       checks crash-free runs only (Conformance skips machines that
+       crashed), so the crash transition must not silently widen the
+       label set the oracle accepts. *)
+    let r =
+      Reach.explore { Reach.default_params with Reach.bound; crashes = false }
+    in
     (match r.Reach.r_violations with
     | [] -> ()
     | v :: _ ->

@@ -83,10 +83,14 @@ type deferred =
   | Reply_read of { requester : int }
   | Reply_readex of { requester : int; inval_acks : int }
   | Inval_done of { requester : int }
+  | D_recovered
+      (** crash recovery rewrote a deferred action whose requester died:
+          complete the downgrade locally, send nothing (mirrors
+          [Downgrade.Recovered]) *)
 
 type down = {
   d_target : base;
-  d_deferred : deferred;
+  mutable d_deferred : deferred;  (** mutable for crash-recovery rewrites *)
   mutable d_remaining : int;
   mutable d_queued : (int * msg) list;  (** newest first, as in Downgrade *)
 }
@@ -136,6 +140,8 @@ type state = {
   nodes : nodest array;  (** length 2 *)
   priv : base array;  (** length 4 *)
   mutable net : (int * int * msg) list;  (** (src, dst, msg), send order *)
+  mutable s_home : int;  (** current home pid; moves if the home node dies *)
+  mutable s_dead : int;  (** node-index bitset of crashed nodes *)
 }
 
 let copy_entry e = { e with e_kind = e.e_kind }
@@ -154,6 +160,8 @@ let copy_state s =
     nodes = Array.map copy_node s.nodes;
     priv = Array.copy s.priv;
     net = s.net;
+    s_home = s.s_home;
+    s_dead = s.s_dead;
   }
 
 let initial ~home =
@@ -171,6 +179,8 @@ let initial ~home =
           });
     priv = Array.init nprocs (fun p -> if p = home then E else I);
     net = [];
+    s_home = home;
+    s_dead = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -213,27 +223,30 @@ let describe_label = function
 exception Model_violation of string
 
 type t = {
-  home : int;
+  home : int;  (** initial home (the current home lives in [st.s_home]) *)
   bound : int;  (** per-(src,dst) channel bound *)
   fault : Config.fault option;
+  crashes : bool;  (** enable the node-crash transition *)
   mutable on_label : label -> unit;
   mutable on_branch : string -> unit;
   mutable overflow : bool;  (** a send exceeded [bound] this step *)
   mutable st : state;
 }
 
-let create ?(home = 2) ?(bound = 2) ?fault () =
+let create ?(home = 2) ?(bound = 2) ?fault ?(crashes = false) () =
   {
     home;
     bound;
     fault;
+    crashes;
     on_label = ignore;
     on_branch = ignore;
     overflow = false;
     st = initial ~home;
   }
 
-let home_node t = node_of t.home
+let home t = t.st.s_home
+let home_node t = node_of (home t)
 let nd t p = t.st.nodes.(node_of p)
 let violation msg = raise (Model_violation msg)
 let hit t b = t.on_branch b
@@ -341,7 +354,7 @@ and handle_message t p ~src m =
 (* ---------------- directory (home) side ---------------- *)
 
 and handle_dir_request t p ~src ~kind =
-  if p <> t.home then violation "directory request handled off-home";
+  if p <> home t then violation "directory request handled off-home";
   let e = t.st.dir in
   if e.busy then begin
     hit t "dir.busy_queue";
@@ -461,7 +474,7 @@ and handle_own_ack t p =
 (* ---------------- owner / sharer side ---------------- *)
 
 and send_data t p ~dst ~kind ~inval_acks =
-  send t p dst (Data_reply { kind; from_home = p = t.home; inval_acks })
+  send t p dst (Data_reply { kind; from_home = p = home t; inval_acks })
 
 and reply_data t p ~dst ~kind ~inval_acks = send_data t p ~dst ~kind ~inval_acks
 
@@ -590,8 +603,8 @@ and execute_deferred t p ~target ~deferred =
     hit t "deferred.reply_read";
     set_nbase t p S;
     send_data t p ~dst:requester ~kind:Read ~inval_acks:0;
-    if p = t.home then handle_sharing_wb t p ~new_sharer:requester
-    else send t p t.home (Sharing_wb { new_sharer = requester })
+    if p = home t then handle_sharing_wb t p ~new_sharer:requester
+    else send t p (home t) (Sharing_wb { new_sharer = requester })
   | Reply_readex { requester; inval_acks } ->
     if target <> I then violation "readex downgrade with a non-Invalid target";
     hit t "deferred.reply_readex";
@@ -604,6 +617,13 @@ and execute_deferred t p ~target ~deferred =
     stamp_invalid t p;
     set_nbase t p I;
     send t p requester Inval_ack
+  | D_recovered ->
+    (* Crash recovery rewrote the deferred action (its requester died or
+       its transaction was restarted): complete the downgrade locally and
+       send nothing, mirroring Downgrade.Recovered in lib/core. *)
+    hit t "deferred.recovered";
+    if target = I then stamp_invalid t p;
+    set_nbase t p target
 
 (* ---------------- requester side: replies ---------------- *)
 
@@ -641,7 +661,7 @@ and handle_data_reply t p ~kind ~inval_acks =
     e.e_ready <- true;
     e.e_acks_expected <- inval_acks;
     if kind = Readex then
-      if p = t.home then handle_own_ack t p else send t p t.home Own_ack;
+      if p = home t then handle_own_ack t p else send t p (home t) Own_ack;
     if e.e_iar then begin
       hit t "entry.inval_after_reply";
       e.e_iar <- false;
@@ -657,7 +677,7 @@ and handle_data_reply t p ~kind ~inval_acks =
       let kind2 = if n.nbase = S then Upgrade else Readex in
       e.e_kind <- kind2;
       set_pending t p true;
-      send t p t.home (Req kind2)
+      send t p (home t) (Req kind2)
     end
     else complete_if_ready t p e
 
@@ -723,7 +743,7 @@ let do_load t p =
       hit t "load.issue";
       n.miss <- Some (new_entry Read);
       set_pending t p true;
-      send t p t.home (Req Read)
+      send t p (home t) (Req Read)
 
 (* Checked store: private Exclusive writes through; anything else
    enters Protocol.store_miss. *)
@@ -757,13 +777,221 @@ let do_store t p =
         n.miss <- Some (new_entry kind);
         set_pending t p true;
         n.stamped <- false;
-        send t p t.home (Req kind)
+        send t p (home t) (Req kind)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Node crash and recovery: the abstract mirror of Recover.rebuild,
+   specialized to the 2-node geometry. After one crash exactly one node
+   survives, so re-homed blocks and rebuilt directories always land on
+   it, and a second crash is never enabled (the last live node may not
+   die). The transition is atomic — fail-stop plus the whole rebuild in
+   one step — mirroring the engine, which runs the recovery callback
+   between scheduling points; the self-destined sends it performs are
+   therefore safe to inline. *)
+
+(* The surviving node's representative: the live pid with the highest
+   private rank, lowest pid on ties — the pid Recover.rebuild elects to
+   stand for the node's copy in the rebuilt directory and as the
+   re-issuer of its outstanding miss. *)
+let crash_rep t n' =
+  List.fold_left
+    (fun best p -> if rank t.st.priv.(p) > rank t.st.priv.(best) then p else best)
+    (2 * n') (procs_of_node n')
+
+let msg_requester = function
+  | Fwd { requester; _ } | Invalidate { requester } -> Some requester
+  | _ -> None
+
+let do_crash t n =
+  hit t "crash.kill";
+  let st = t.st in
+  let n' = 1 - n in
+  let dead_pid p = node_of p = n in
+  let dn = st.nodes.(n) and ln = st.nodes.(n') in
+  let d = st.dir in
+  let dead_had_state =
+    dn.nbase <> I || dn.pending || dn.pdg || dn.miss <> None || dn.down <> None
+    || List.exists (fun p -> st.priv.(p) <> I) (procs_of_node n)
+  in
+  (* Fail-stop: in-flight messages with a dead endpoint vanish. *)
+  let harvested, kept =
+    List.partition (fun (s, dst, _) -> dead_pid s || dead_pid dst) st.net
+  in
+  st.net <- kept;
+  st.s_dead <- st.s_dead lor (1 lsl n);
+  (* Scrub the dead node: tables Invalid, copies flag-stamped,
+     transients cleared — the node no longer exists. *)
+  dn.nbase <- I;
+  dn.pending <- false;
+  dn.pdg <- false;
+  dn.stamped <- true;
+  dn.miss <- None;
+  dn.down <- None;
+  List.iter (fun p -> st.priv.(p) <- I) (procs_of_node n);
+  (* A dead-homed block re-homes to the surviving node. *)
+  let home_died = node_of st.s_home = n in
+  if home_died then begin
+    hit t "crash.rehome";
+    st.s_home <- 2 * n'
+  end;
+  let refs_dead (src, m) =
+    dead_pid src
+    || match msg_requester m with Some r -> dead_pid r | None -> false
+  in
+  let dir_refs_dead =
+    dead_pid d.owner
+    || List.exists dead_pid (belements d.sharers)
+    || List.exists (fun (src, _) -> dead_pid src) d.queue
+  in
+  let deferred_refs_dead = function
+    | Reply_read { requester }
+    | Reply_readex { requester; _ }
+    | Inval_done { requester } -> dead_pid requester
+    | D_recovered -> false
+  in
+  let dg_refs_dead =
+    match ln.down with
+    | Some dg ->
+      deferred_refs_dead dg.d_deferred || List.exists refs_dead dg.d_queued
+    | None -> false
+  in
+  let entry_refs_dead =
+    match ln.miss with
+    | Some e -> List.exists refs_dead e.e_fwds
+    | None -> false
+  in
+  let live_msg_refs_dead =
+    List.exists (fun (_, _, m) -> refs_dead (nprocs, m)) st.net
+  in
+  let affected =
+    home_died || dead_had_state || harvested <> [] || dir_refs_dead
+    || dg_refs_dead || entry_refs_dead || live_msg_refs_dead
+  in
+  if not affected then hit t "crash.unaffected"
+  else begin
+    (* Cancel the survivors' in-flight messages about the block — they
+       belong to transactions the rebuild restarts — except Downgrades,
+       whose completion the owner's down entry is counting on. A
+       cancelled ownership-transferring data reply is un-sent: the bytes
+       exist only in that message (the sender downgraded to Invalid just
+       before sending), so the sender's copy is restored. *)
+    let cancelled, kept =
+      List.partition
+        (fun (_, _, m) -> match m with Downgrade _ -> false | _ -> true)
+        st.net
+    in
+    st.net <- kept;
+    if cancelled <> [] then hit t "crash.cancel";
+    List.iter
+      (fun (s, _, m) ->
+        match m with
+        | Data_reply { kind = Readex | Upgrade; _ } ->
+          hit t "crash.unsend_data";
+          let sn = st.nodes.(node_of s) in
+          sn.stamped <- false;
+          sn.nbase <- E;
+          st.priv.(s) <- E
+        | _ -> ())
+      cancelled;
+    (* A surviving in-progress downgrade completes locally: its queued
+       messages were cancelled above and its deferred action served a
+       transaction that is being restarted. *)
+    (match ln.down with
+    | Some dg ->
+      hit t "crash.dg_recovered";
+      dg.d_queued <- [];
+      dg.d_deferred <- D_recovered
+    | None -> ());
+    (* Rebuild the directory entry from the survivor's state. *)
+    let rp = crash_rep t n' in
+    d.queue <- [];
+    d.busy <- false;
+    d.owner <- rp;
+    d.sharers <- badd rp 0;
+    let eff = match ln.down with Some dg -> dg.d_target | None -> ln.nbase in
+    let rescued = ref false in
+    if eff <> I then hit t "crash.rebuild"
+    else begin
+      match ln.down with
+      | Some dg ->
+        (* The block's only copy is mid-downgrade to Invalid on the
+           survivor: its bytes are still present until the downgrade
+           completes, so redirect the deferred reply at the survivor
+           itself — the normal Reply_readex path then re-delivers
+           ownership (and its Own_ack clears the busy bit). *)
+        hit t "crash.rescue";
+        rescued := true;
+        (match ln.miss with
+        | Some e ->
+          e.e_kind <- Readex;
+          e.e_ready <- false;
+          e.e_acks_expected <- -1;
+          e.e_acks_received <- 0;
+          e.e_uar <- false;
+          e.e_iar <- false;
+          e.e_fwds <- []
+        | None -> ln.miss <- Some (new_entry Readex));
+        ln.pending <- true;
+        dg.d_deferred <- Reply_readex { requester = rp; inval_acks = 0 };
+        d.busy <- true
+      | None -> (
+        (* Every copy of the block died with the node. *)
+        match ln.miss with
+        | Some e ->
+          (* A live demand miss is outstanding: mirror the
+             checkpoint-restore path — the data is restored from the
+             checkpoint plus log and the miss completes locally. (The
+             sharer-pull mode raises Recovery_violation (Data_loss)
+             here; that typed failure is exercised by the concrete
+             crash tests, not modeled as a transition.) *)
+          hit t "crash.data_loss";
+          let ns = match e.e_kind with Read when not e.e_uar -> S | _ -> E in
+          ln.stamped <- false;
+          ln.nbase <- ns;
+          ln.pending <- false;
+          ln.miss <- None;
+          st.priv.(rp) <- ns
+        | None ->
+          (* No live demand: re-initialize a zeroed Exclusive copy at
+             the (new) home, as sharer-pull recovery does. *)
+          hit t "crash.reinit";
+          ln.stamped <- false;
+          ln.nbase <- E)
+    end;
+    (* Re-issue the survivor's outstanding miss — last, once the
+       directory is consistent, because a self-destined Req runs its
+       handler inline. *)
+    if not !rescued then
+      match ln.miss with
+      | Some e ->
+        hit t "crash.reissue";
+        e.e_fwds <- [];
+        e.e_acks_received <- 0;
+        let k =
+          if e.e_ready then begin
+            (* The data already arrived; only acknowledgements died.
+               Re-secure ownership with a fresh upgrade transaction. *)
+            e.e_ready <- false;
+            e.e_kind <- Upgrade;
+            Upgrade
+          end
+          else e.e_kind
+        in
+        e.e_acks_expected <- -1;
+        ln.pending <- true;
+        send t rp (home t) (Req k)
+      | None -> ()
   end
 
 (* ------------------------------------------------------------------ *)
 (* Actions and stepping.                                               *)
 
-type action = Load of int | Store of int | Deliver of { src : int; dst : int }
+type action =
+  | Load of int
+  | Store of int
+  | Deliver of { src : int; dst : int }
+  | Crash of int  (** node index: fail-stop the node, then recover *)
 
 (* Delivery rule derived from arrival-order handling with per-class
    latencies (see the [state] comment): an in-flight message is
@@ -785,13 +1013,19 @@ let deliverable st =
     st.net;
   List.rev !acc
 
-let enabled_actions st =
+let enabled_actions ?(crashes = false) st =
   let acc = ref [] in
+  (* At most one crash per run, and the last live node may not die. *)
+  if crashes && st.s_dead = 0 then
+    for n = nnodes - 1 downto 0 do
+      acc := Crash n :: !acc
+    done;
   List.iter
     (fun (src, dst) -> acc := Deliver { src; dst } :: !acc)
     (List.rev (deliverable st));
   for p = nprocs - 1 downto 0 do
-    acc := Load p :: Store p :: !acc
+    if st.s_dead land (1 lsl node_of p) = 0 then
+      acc := Load p :: Store p :: !acc
   done;
   !acc
 
@@ -806,6 +1040,7 @@ let describe_action st = function
     | Some (_, _, m) ->
       Printf.sprintf "deliver %s p%d->p%d" (msg_name m) src dst
     | None -> Printf.sprintf "deliver <empty> p%d->p%d" src dst)
+  | Crash n -> Printf.sprintf "crash node %d" n
 
 (* Execute [action] against [t.st], mutating it in place. Raises
    [Model_violation] when a handler reaches one of the real protocol's
@@ -829,6 +1064,10 @@ let step t action =
     let m, rest = take t.st.net in
     t.st.net <- rest;
     handle_message t dst ~src m)
+  | Crash n ->
+    if not t.crashes then violation "crash action on a crash-free model";
+    if t.st.s_dead <> 0 then violation "second crash (last live node)";
+    do_crash t n
 
 (* ------------------------------------------------------------------ *)
 (* Invariants: the Inspect.report sweep over the abstract state. A
@@ -906,6 +1145,21 @@ let all_branches =
     "load.stall_data"; "load.stall_drain"; "load.issue";
     "store.hit"; "store.pre_downgrade"; "store.private_upgrade";
     "store.stall_drain"; "store.merge"; "store.issue";
+    "deferred.recovered";
+    "crash.kill"; "crash.rehome"; "crash.unaffected"; "crash.cancel";
+    "crash.unsend_data"; "crash.dg_recovered"; "crash.rescue";
+    "crash.data_loss"; "crash.reinit"; "crash.rebuild"; "crash.reissue";
+  ]
+
+(* The branches only a crash can reach; a crash-free exploration reports
+   them dead by construction, so the dead report counts them as expected
+   unless the run enabled crashes. *)
+let crash_branches =
+  [
+    "deferred.recovered";
+    "crash.kill"; "crash.rehome"; "crash.unaffected"; "crash.cancel";
+    "crash.unsend_data"; "crash.dg_recovered"; "crash.rescue";
+    "crash.data_loss"; "crash.reinit"; "crash.rebuild"; "crash.reissue";
   ]
 
 (* Branches that are structurally unreachable in the abstraction and

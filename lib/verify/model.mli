@@ -57,10 +57,14 @@ type deferred =
   | Reply_read of { requester : int }
   | Reply_readex of { requester : int; inval_acks : int }
   | Inval_done of { requester : int }
+  | D_recovered
+      (** crash recovery rewrote a deferred action whose transaction was
+          restarted: complete the downgrade locally, send nothing
+          (mirrors [Downgrade.Recovered]) *)
 
 type down = {
   d_target : base;
-  d_deferred : deferred;
+  mutable d_deferred : deferred;  (** mutable for crash-recovery rewrites *)
   mutable d_remaining : int;
   mutable d_queued : (int * msg) list;
 }
@@ -99,6 +103,10 @@ type state = {
       (** in-flight messages as (src, dst, msg) in send order —
           delivery follows the simulator's arrival-order semantics with
           minimum-latency ranks (see {!enabled_actions}) *)
+  mutable s_home : int;
+      (** current home pid; moves to the surviving node if the home
+          node crashes *)
+  mutable s_dead : int;  (** node-index bitset of crashed nodes *)
 }
 
 val copy_state : state -> state
@@ -129,9 +137,10 @@ exception Model_violation of string
     impossible-configuration checks ([Protocol_violation] sites). *)
 
 type t = {
-  home : int;
+  home : int;  (** initial home (the current home lives in [st.s_home]) *)
   bound : int;
   fault : Shasta_core.Config.fault option;
+  crashes : bool;  (** enable the node-crash transition *)
   mutable on_label : label -> unit;
   mutable on_branch : string -> unit;
   mutable overflow : bool;
@@ -139,19 +148,35 @@ type t = {
 }
 
 val create :
-  ?home:int -> ?bound:int -> ?fault:Shasta_core.Config.fault -> unit -> t
+  ?home:int ->
+  ?bound:int ->
+  ?fault:Shasta_core.Config.fault ->
+  ?crashes:bool ->
+  unit ->
+  t
 (** [home] defaults to 2 (so the home node also has a non-home sibling
-    processor), [bound] to 2 in-flight messages per (src, dst) pair. *)
+    processor), [bound] to 2 in-flight messages per (src, dst) pair,
+    [crashes] to false (no crash transition). *)
 
-type action = Load of int | Store of int | Deliver of { src : int; dst : int }
+val home : t -> int
+(** The current home pid ([t.st.s_home]). *)
 
-val enabled_actions : state -> action list
-(** Checked load / checked store on the block by every processor, plus
-    the deliverable messages: in-flight entries every earlier entry of
-    which has strictly higher minimum-latency rank (intra-node control
-    < intra-node data < remote control < remote data) and a different
-    (src, dst) pair — a later send can only overtake an earlier one
-    with a strictly cheaper transfer, and never on its own pair. *)
+type action =
+  | Load of int
+  | Store of int
+  | Deliver of { src : int; dst : int }
+  | Crash of int  (** node index: fail-stop the node, then recover *)
+
+val enabled_actions : ?crashes:bool -> state -> action list
+(** Checked load / checked store on the block by every live processor,
+    plus the deliverable messages: in-flight entries every earlier entry
+    of which has strictly higher minimum-latency rank (intra-node
+    control < intra-node data < remote control < remote data) and a
+    different (src, dst) pair — a later send can only overtake an
+    earlier one with a strictly cheaper transfer, and never on its own
+    pair. With [crashes] (default false), additionally [Crash n] for
+    each node while no node is dead yet: at most one crash per run,
+    since the last live node may not die. *)
 
 val describe_action : state -> action -> string
 
@@ -185,3 +210,7 @@ val expected_dead : string list
     one-block artifacts plus paths that need message races the
     ordered-delivery discipline forbids in this geometry; listed
     separately by [verify --reach --dead]. *)
+
+val crash_branches : string list
+(** The branches only the {!action.Crash} transition can reach; a
+    crash-free exploration counts them as expected-dead. *)

@@ -16,13 +16,14 @@ type params = {
   home : int;
   bound : int;
   fault : Shasta_core.Config.fault option;
+  crashes : bool;  (** enable the node-crash transition *)
   max_states : int;
   stop_at_first : bool;  (** stop at the first violation (fault runs) *)
 }
 
 let default_params =
-  { home = 2; bound = 2; fault = None; max_states = 4_000_000;
-    stop_at_first = false }
+  { home = 2; bound = 2; fault = None; crashes = false;
+    max_states = 4_000_000; stop_at_first = false }
 
 type violation = {
   v_message : string;
@@ -42,7 +43,9 @@ type result = {
 exception Done
 
 let explore (p : params) =
-  let t = M.create ~home:p.home ~bound:p.bound ?fault:p.fault () in
+  let t =
+    M.create ~home:p.home ~bound:p.bound ?fault:p.fault ~crashes:p.crashes ()
+  in
   let labels : (M.label, unit) Hashtbl.t = Hashtbl.create 512 in
   let branches : (string, unit) Hashtbl.t = Hashtbl.create 128 in
   t.M.on_label <-
@@ -113,7 +116,7 @@ let explore (p : params) =
                | None -> ()
                | Some nid -> check_state nid t.M.st
              end)
-         (M.enabled_actions st)
+         (M.enabled_actions ~crashes:p.crashes st)
      done
    with Done -> ());
   {
@@ -163,8 +166,14 @@ let dead_report r =
   let unreached =
     List.filter (fun b -> not (Hashtbl.mem r.r_branches b)) M.all_branches
   in
+  (* Without the crash transition the crash branches are dead by
+     construction, not rot. *)
+  let expected_set =
+    if r.r_params.crashes then M.expected_dead
+    else M.expected_dead @ M.crash_branches
+  in
   let expected, rot =
-    List.partition (fun b -> List.mem b M.expected_dead) unreached
+    List.partition (fun b -> List.mem b expected_set) unreached
   in
   let unmodeled =
     Array.to_list

@@ -9,6 +9,9 @@ type params = {
   home : int;  (** pid hosting the block (default 2) *)
   bound : int;  (** per-(src,dst) channel bound (default 2) *)
   fault : Shasta_core.Config.fault option;
+  crashes : bool;
+      (** enable the node-crash transition (default false); the dead
+          report then expects the crash branches to be reached *)
   max_states : int;
   stop_at_first : bool;  (** stop at the first violation (fault runs) *)
 }

@@ -165,6 +165,117 @@ let test_catches_skip_private () =
 let test_catches_skip_flag () =
   fuzz_catches "store-steal" Config.Skip_flag_stamp
 
+(* ------------------------------------------------------------------ *)
+(* Randomized crash-point injection: each (scenario, seed) pair draws a
+   node and a crash cycle from its own PRNG stream — the cycle from the
+   scenario's default-schedule span, so placements land anywhere from
+   the first miss to the final barrier — and must either recover with
+   every checker clean or fail with the typed [Recovery_violation]
+   (sharer-pull recovery may hit a genuine [Data_loss]). Runs are a
+   pure function of (scenario, seed), so failures replay exactly. *)
+
+let crash_prng seed = Prng.create (0xc4a5 + (seed * 2654435761))
+
+(* Default-schedule run length per scenario, the crash-placement
+   window; computed once. *)
+let scenario_span =
+  let tbl = Hashtbl.create 8 in
+  fun sc ->
+    match Hashtbl.find_opt tbl sc.Litmus.name with
+    | Some s -> s
+    | None ->
+      let inst = sc.Litmus.make ~fault:None in
+      Dsm.run_controlled
+        ~choose:(fun (cs : int array) -> cs.(0))
+        inst.Litmus.handle inst.Litmus.body;
+      let s = Dsm.parallel_cycles inst.Litmus.handle in
+      Hashtbl.add tbl sc.Litmus.name s;
+      s
+
+let fuzz_crash_scenario sc seed =
+  let prng = crash_prng seed in
+  let node = Prng.int prng 2 in
+  let at = 1 + Prng.int prng (max 1 (scenario_span sc)) in
+  let inst = sc.Litmus.make ~fault:None in
+  let m = Dsm.machine inst.Litmus.handle in
+  let san = Sanitizer.attach m in
+  let events = [ Shasta_recover.Crash.kill inst.Litmus.handle ~node ~at ] in
+  let outcome =
+    try
+      Dsm.run_controlled ~choose:(random_choose seed) ~events
+        inst.Litmus.handle inst.Litmus.body;
+      `Completed
+    with
+    | Shasta_recover.Recover.Recovery_violation _ ->
+      (* typed: recovery declared honestly what it could not restore;
+         the run is abandoned there, so no post-run checks apply *)
+      `Typed
+    | Inspect.Violation (v :: _) ->
+      `Bad ("sanitizer: " ^ Inspect.describe v)
+    | Shasta_core.Protocol.Protocol_violation { detail; _ } ->
+      `Bad ("protocol: " ^ detail)
+    | Shasta_sim.Engine.Cycle_limit p ->
+      `Bad (Printf.sprintf "cycle limit (livelock) on proc %d" p)
+  in
+  match outcome with
+  | `Bad what -> Some what
+  | `Typed -> None
+  | `Completed ->
+    if Sanitizer.violation_count san > 0 then
+      Some
+        (Printf.sprintf "sanitizer recorded %d violation(s)"
+           (Sanitizer.violation_count san))
+    else (
+      match Inspect.report m with
+      | v :: _ -> Some ("post-run: " ^ Inspect.describe v)
+      | [] ->
+        if m.Machine.crashes > 0 then
+          inst.Litmus.crash_final ~live:(fun p -> not m.Machine.dead.(p))
+        else
+          (* placement fell past the fuzzed run's end: a clean run *)
+          inst.Litmus.final ())
+
+let test_crash_points_clean () =
+  List.iter
+    (fun sc ->
+      for seed = 0 to (nseeds / 2) - 1 do
+        match fuzz_crash_scenario sc seed with
+        | None -> ()
+        | Some what ->
+          Alcotest.failf
+            "scenario %s, seed %d: %s (replay: crash-fuzz %s/%d)"
+            sc.Litmus.name seed what sc.Litmus.name seed
+      done)
+    Litmus.scenarios
+
+(* The crash fuzzer is as replayable as the schedule fuzzer: the same
+   (scenario, seed) reaches the same clock and the same crash count. *)
+let test_crash_points_deterministic () =
+  List.iter
+    (fun sc ->
+      let observe seed =
+        let prng = crash_prng seed in
+        let node = Prng.int prng 2 in
+        let at = 1 + Prng.int prng (max 1 (scenario_span sc)) in
+        let inst = sc.Litmus.make ~fault:None in
+        let m = Dsm.machine inst.Litmus.handle in
+        (try
+           Dsm.run_controlled ~choose:(random_choose seed)
+             ~events:[ Shasta_recover.Crash.kill inst.Litmus.handle ~node ~at ]
+             inst.Litmus.handle inst.Litmus.body
+         with Shasta_recover.Recover.Recovery_violation _ -> ());
+        (Dsm.parallel_cycles inst.Litmus.handle, m.Machine.crashes)
+      in
+      List.iter
+        (fun seed ->
+          let c1, n1 = observe seed and c2, n2 = observe seed in
+          Alcotest.(check (pair int int))
+            (Printf.sprintf "%s seed %d crash run replays identically"
+               sc.Litmus.name seed)
+            (c1, n1) (c2, n2))
+        [ 0; 9; 31 ])
+    Litmus.scenarios
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -185,5 +296,12 @@ let () =
             test_catches_skip_private;
           Alcotest.test_case "skip-flag-stamp exposed" `Quick
             test_catches_skip_flag;
+        ] );
+      ( "crash-points",
+        [
+          Alcotest.test_case "randomized crash placements recover" `Slow
+            test_crash_points_clean;
+          Alcotest.test_case "crash fuzzer deterministic per seed" `Quick
+            test_crash_points_deterministic;
         ] );
     ]
